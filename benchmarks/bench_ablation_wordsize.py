@@ -1,0 +1,109 @@
+"""E12 — ablation: the word size ``w`` drives FindMin's log log n saving.
+
+Section 3.1's trick is that one broadcast-and-echo answers ``w`` TestOuts in
+parallel (the echo is a ``w``-bit word), so each narrowing divides the weight
+range by ``w`` and only ``log maxWt / log w`` narrowings are needed.  With
+``w = Θ(log n)`` this is the ``log n / log log n`` bound; with ``w = 2`` it
+degrades to plain binary search (``Θ(log n)`` narrowings).
+
+The ablation fixes one tree/cut and sweeps ``w``: the broadcast-and-echo
+count should fall roughly like ``1 / log w``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import summarize
+from repro.core.config import AlgorithmConfig
+from repro.core.findmin import FindMin
+from repro.generators import random_connected_graph, random_spanning_tree_forest
+from repro.network.accounting import MessageAccountant
+
+from .common import experiment_table
+
+WORD_SIZES = [2, 4, 8, 16, 32, 64]
+BENCH_WORD_SIZE = 8
+N = 96
+REPEATS = 3
+
+
+def _setup(seed: int):
+    graph = random_connected_graph(N, 4 * N, seed=seed)
+    forest = random_spanning_tree_forest(graph, seed=seed + 1)
+    key = sorted(forest.marked_edges)[N // 3]
+    forest.unmark(*key)
+    root = max(key, key=lambda node: len(forest.component_of(node)))
+    return graph, forest, root
+
+
+def _measure(word_size: int, seed: int = 23):
+    be_counts, messages, correct = [], [], 0
+    for rep in range(REPEATS):
+        graph, forest, root = _setup(seed + 11 * rep)
+        component = forest.component_of(root)
+        cut = forest.outgoing_edges(component)
+        true_min = min(cut, key=lambda e: e.augmented_weight(graph.id_bits))
+        config = AlgorithmConfig(n=N, seed=seed + rep, word_size=word_size)
+        result = FindMin(graph, forest, config, MessageAccountant()).find_min(root)
+        if result.edge == true_min:
+            correct += 1
+        be_counts.append(result.broadcast_echoes)
+        messages.append(result.cost.messages)
+    return {
+        "word_size": word_size,
+        "broadcast_echoes": summarize(be_counts).mean,
+        "messages": summarize(messages).mean,
+        "correct_fraction": correct / REPEATS,
+    }
+
+
+def build_table():
+    rows = []
+    baseline = None
+    for w in WORD_SIZES:
+        r = _measure(w)
+        if baseline is None:
+            baseline = r["broadcast_echoes"]
+        rows.append(
+            (
+                r["word_size"],
+                r["broadcast_echoes"],
+                r["messages"],
+                baseline / max(r["broadcast_echoes"], 1.0),
+                r["correct_fraction"],
+            )
+        )
+    return experiment_table(
+        "E12",
+        f"Ablation (n={N}): FindMin cost vs word size w",
+        ["w", "B&Es", "messages", "speedup vs w=2", "correct"],
+        rows,
+        notes=[
+            "Section 3.1: narrowings ~ log maxWt / log w, so B&Es fall ~ 1/log w",
+            "w = Θ(log n) is the paper's choice and gives the log log n saving",
+        ],
+    )
+
+
+def test_wordsize_ablation(benchmark):
+    binary = _measure(2)
+    result = benchmark.pedantic(_measure, args=(BENCH_WORD_SIZE,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "w2_broadcast_echoes": round(binary["broadcast_echoes"], 2),
+            f"w{BENCH_WORD_SIZE}_broadcast_echoes": round(result["broadcast_echoes"], 2),
+        }
+    )
+    assert result["correct_fraction"] == 1.0
+    # Wider words need fewer broadcast-and-echoes than binary search.
+    assert result["broadcast_echoes"] < binary["broadcast_echoes"]
+
+
+def main() -> int:
+    build_table().print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""E4 — FindAny cost and success probability (Lemmas 4-5).
+
+Paper claims: FindAny uses an expected **constant** number of
+broadcast-and-echoes (so ``O(|T|)`` messages), and FindAny-C — a single
+attempt — returns an edge leaving the tree with probability at least 1/16.
+
+The sweep mirrors E3's setup.  The table reports the average B&E count (which
+should stay flat as ``n`` grows), messages per tree node, the FindAny-C
+empirical success rate, and the factor saved w.r.t. FindMin on the same cut.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import summarize
+from repro.core.config import AlgorithmConfig, FINDANY_SUCCESS_PROBABILITY
+from repro.core.findany import FindAny
+from repro.core.findmin import FindMin
+from repro.generators import random_connected_graph, random_spanning_tree_forest
+from repro.network.accounting import MessageAccountant
+
+from .common import experiment_table
+
+SWEEP_SIZES = [32, 64, 128, 256, 512]
+BENCH_SIZE = 256
+REPEATS = 5
+CAPPED_TRIALS = 40
+
+
+def _setup(n: int, seed: int):
+    graph = random_connected_graph(n, min(3 * n, n * (n - 1) // 2), seed=seed)
+    forest = random_spanning_tree_forest(graph, seed=seed + 1)
+    key = sorted(forest.marked_edges)[n // 3]
+    forest.unmark(*key)
+    root = max(key, key=lambda node: len(forest.component_of(node)))
+    return graph, forest, root
+
+
+def _measure(n: int, seed: int = 5):
+    be_counts, messages, tree_sizes, findmin_messages = [], [], [], []
+    valid = 0
+    for rep in range(REPEATS):
+        graph, forest, root = _setup(n, seed + 13 * rep)
+        component = forest.component_of(root)
+        cut = {(e.u, e.v) for e in forest.outgoing_edges(component)}
+        finder = FindAny(
+            graph, forest, AlgorithmConfig(n=n, seed=seed + rep), MessageAccountant()
+        )
+        result = finder.find_any(root)
+        if result.edge is not None and result.edge.endpoints in cut:
+            valid += 1
+        be_counts.append(result.broadcast_echoes)
+        messages.append(result.cost.messages)
+        tree_sizes.append(len(component))
+        min_finder = FindMin(
+            graph, forest, AlgorithmConfig(n=n, seed=seed + rep), MessageAccountant()
+        )
+        findmin_messages.append(min_finder.find_min(root).cost.messages)
+
+    # FindAny-C success rate on one fixed instance.
+    graph, forest, root = _setup(n, seed)
+    capped_successes = 0
+    for trial in range(CAPPED_TRIALS):
+        finder = FindAny(
+            graph, forest, AlgorithmConfig(n=n, seed=1000 + trial), MessageAccountant()
+        )
+        if finder.find_any_capped(root).edge is not None:
+            capped_successes += 1
+
+    avg_tree = sum(tree_sizes) / len(tree_sizes)
+    return {
+        "n": n,
+        "tree_size": avg_tree,
+        "broadcast_echoes": summarize(be_counts).mean,
+        "messages": summarize(messages).mean,
+        "msgs_per_tree_node": summarize(messages).mean / avg_tree,
+        "valid_fraction": valid / REPEATS,
+        "capped_success_rate": capped_successes / CAPPED_TRIALS,
+        "saving_vs_findmin": summarize(findmin_messages).mean
+        / max(summarize(messages).mean, 1.0),
+    }
+
+
+def build_table():
+    rows = []
+    for n in SWEEP_SIZES:
+        r = _measure(n)
+        rows.append(
+            (
+                r["n"],
+                r["tree_size"],
+                r["broadcast_echoes"],
+                r["messages"],
+                r["msgs_per_tree_node"],
+                r["capped_success_rate"],
+                r["saving_vs_findmin"],
+            )
+        )
+    return experiment_table(
+        "E4",
+        "FindAny: constant broadcast-and-echoes, FindAny-C success rate",
+        ["n", "|T|", "B&Es", "messages", "msgs/|T|", "FindAny-C success", "FindMin/FindAny msgs"],
+        rows,
+        notes=[
+            "Lemma 5: B&Es flat in n; FindAny-C success >= 1/16 = 0.0625",
+            "last column = the log n / log log n factor saved (Section 4.1)",
+        ],
+    )
+
+
+def test_findany_cost(benchmark):
+    result = benchmark.pedantic(_measure, args=(BENCH_SIZE,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in result.items()}
+    )
+    assert result["valid_fraction"] == 1.0
+    assert result["capped_success_rate"] >= FINDANY_SUCCESS_PROBABILITY
+    assert result["saving_vs_findmin"] > 1.0
+
+
+def main() -> int:
+    build_table().print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""E3 — FindMin cost (Lemma 2).
+
+Paper claim: FindMin finds the lightest edge leaving a tree ``T`` with an
+expected ``O(log n / log log n)`` broadcast-and-echoes, i.e.
+``O(|T| · log n / log log n)`` messages.
+
+The sweep maintains a random spanning tree of a random graph, splits it by
+removing one tree edge, and runs FindMin from the larger side.  Reported:
+broadcast-and-echo count (should track ``log n / log log n``), messages, and
+messages normalised by ``|T| · log n / log log n`` (should stay flat).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import bound_value, summarize
+from repro.core.config import AlgorithmConfig
+from repro.core.findmin import FindMin
+from repro.generators import random_connected_graph, random_spanning_tree_forest
+from repro.network.accounting import MessageAccountant
+
+from .common import experiment_table
+
+SWEEP_SIZES = [32, 64, 128, 256, 512]
+BENCH_SIZE = 256
+REPEATS = 5
+
+
+def _setup(n: int, seed: int):
+    graph = random_connected_graph(n, min(3 * n, n * (n - 1) // 2), seed=seed)
+    forest = random_spanning_tree_forest(graph, seed=seed + 1)
+    key = sorted(forest.marked_edges)[n // 3]
+    forest.unmark(*key)
+    root = max(key, key=lambda node: len(forest.component_of(node)))
+    return graph, forest, root
+
+
+def _measure(n: int, seed: int = 3):
+    be_counts, messages, tree_sizes, correct = [], [], [], 0
+    for rep in range(REPEATS):
+        graph, forest, root = _setup(n, seed + 17 * rep)
+        config = AlgorithmConfig(n=n, seed=seed + rep)
+        finder = FindMin(graph, forest, config, MessageAccountant())
+        component = forest.component_of(root)
+        result = finder.find_min(root)
+        cut = forest.outgoing_edges(component)
+        true_min = min(cut, key=lambda e: e.augmented_weight(graph.id_bits))
+        if result.edge == true_min:
+            correct += 1
+        be_counts.append(result.broadcast_echoes)
+        messages.append(result.cost.messages)
+        tree_sizes.append(len(component))
+    loglog_bound = bound_value("log_n_over_loglog_n", n, 0)
+    avg_tree = sum(tree_sizes) / len(tree_sizes)
+    return {
+        "n": n,
+        "tree_size": avg_tree,
+        "broadcast_echoes": summarize(be_counts).mean,
+        "messages": summarize(messages).mean,
+        "be_over_bound": summarize(be_counts).mean / loglog_bound,
+        "msgs_over_bound": summarize(messages).mean / (avg_tree * loglog_bound),
+        "correct_fraction": correct / REPEATS,
+    }
+
+
+def build_table():
+    rows = []
+    for n in SWEEP_SIZES:
+        r = _measure(n)
+        rows.append(
+            (
+                r["n"],
+                r["tree_size"],
+                r["broadcast_echoes"],
+                r["messages"],
+                r["be_over_bound"],
+                r["msgs_over_bound"],
+                r["correct_fraction"],
+            )
+        )
+    return experiment_table(
+        "E3",
+        "FindMin: broadcast-and-echoes and messages vs n",
+        ["n", "|T|", "B&Es", "messages", "B&E/bound", "msgs/(|T|*bound)", "correct"],
+        rows,
+        notes=[
+            "bound = log n / log log n (Lemma 2)",
+            "flat normalised columns = the claimed growth rate",
+        ],
+    )
+
+
+def test_findmin_cost(benchmark):
+    result = benchmark.pedantic(_measure, args=(BENCH_SIZE,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in result.items()}
+    )
+    assert result["correct_fraction"] == 1.0
+    assert result["messages"] > 0
+
+
+def main() -> int:
+    build_table().print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""E9 — time (round) complexity of construction (Theorem 1.1).
+
+Theorem 1.1 bounds *time* by the same quantities as messages:
+``O(n log² n / log log n)`` rounds for MST and ``O(n log n)`` for ST (the
+dominant term is the broadcast-and-echo depth, which on a worst-case tree is
+Θ(|T|) per B&E).  The sweep measures the parallel round count (per phase, the
+maximum over fragments) for both constructions and normalises by the bounds.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import bound_value
+from repro.verify import is_minimum_spanning_forest, is_spanning_forest
+
+from .common import experiment_table, make_graph, run_build
+
+SWEEP_SIZES = [32, 48, 64, 96]
+BENCH_SIZE = 64
+DENSITY = "dense"
+
+
+def _measure(n: int, seed: int = 13):
+    mst_graph = make_graph(n, DENSITY, seed=seed)
+    mst = run_build(mst_graph, "mst", seed=seed)
+    assert is_minimum_spanning_forest(mst.forest)
+    st_graph = make_graph(n, DENSITY, seed=seed)
+    st = run_build(st_graph, "st", seed=seed)
+    assert is_spanning_forest(st.forest)
+    m = mst_graph.num_edges
+    return {
+        "n": n,
+        "m": m,
+        "mst_rounds": mst.rounds_parallel,
+        "st_rounds": st.rounds_parallel,
+        "mst_rounds_over_bound": mst.rounds_parallel
+        / bound_value("n_log2_n_over_loglog_n", n, m),
+        "st_rounds_over_bound": st.rounds_parallel / bound_value("n_log_n", n, m),
+        "mst_phases": mst.phases,
+        "st_phases": st.phases,
+    }
+
+
+def build_table():
+    rows = []
+    for n in SWEEP_SIZES:
+        r = _measure(n)
+        rows.append(
+            (
+                r["n"],
+                r["m"],
+                r["mst_rounds"],
+                r["st_rounds"],
+                r["mst_rounds_over_bound"],
+                r["st_rounds_over_bound"],
+                r["mst_phases"],
+                r["st_phases"],
+            )
+        )
+    return experiment_table(
+        "E9",
+        "Construction round (time) complexity",
+        ["n", "m", "MST rounds", "ST rounds", "MST/bound", "ST/bound", "MST phases", "ST phases"],
+        rows,
+        notes=[
+            "rounds counted per phase as the max over fragments (parallel execution)",
+            "bounds: n log^2 n / log log n (MST), n log n (ST)",
+        ],
+    )
+
+
+def test_round_complexity(benchmark):
+    result = benchmark.pedantic(_measure, args=(BENCH_SIZE,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in result.items()}
+    )
+    assert result["mst_rounds"] > 0
+    assert result["st_rounds"] > 0
+    # Round counts stay within a constant factor of the bounds.
+    assert result["mst_rounds_over_bound"] < 10
+    assert result["st_rounds_over_bound"] < 10
+
+
+def main() -> int:
+    build_table().print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""E6/E7/E8 — TestOut and HP-TestOut (Section 2, Lemma 1).
+
+Three claims are measured:
+
+* E6: a non-empty cut is detected by a single TestOut with probability at
+  least 1/8 (the hash of [33] is 1/8-odd), and an empty cut never triggers a
+  false positive;
+* E7: HP-TestOut detects a non-empty cut except with probability ≤ ε(n), and
+  is always correct on empty cuts;
+* E8: both cost exactly one broadcast-and-echo over the tree — 2·(|T|−1)
+  messages — and TestOut's echo is a single bit.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.config import AlgorithmConfig
+from repro.core.testout import CutTester
+from repro.generators import random_connected_graph, random_spanning_tree_forest
+from repro.network.accounting import MessageAccountant
+
+from .common import experiment_table
+
+SWEEP_SIZES = [32, 64, 128, 256]
+BENCH_SIZE = 128
+TRIALS = 200
+
+
+def _setup(n: int, seed: int, with_cut: bool = True):
+    graph = random_connected_graph(n, min(3 * n, n * (n - 1) // 2), seed=seed)
+    forest = random_spanning_tree_forest(graph, seed=seed + 1)
+    if with_cut:
+        key = sorted(forest.marked_edges)[n // 4]
+        forest.unmark(*key)
+        root = max(key, key=lambda node: len(forest.component_of(node)))
+    else:
+        root = graph.nodes()[0]
+    return graph, forest, root
+
+
+def _measure(n: int, seed: int = 11):
+    # E6: TestOut detection rate on a non-empty cut.
+    graph, forest, root = _setup(n, seed, with_cut=True)
+    tester = CutTester(graph, forest, AlgorithmConfig(n=n, seed=seed), MessageAccountant())
+    detections = sum(tester.test_out(root) for _ in range(TRIALS))
+
+    # E6 (soundness): no false positives on a spanning tree (empty cut).
+    graph_f, forest_f, root_f = _setup(n, seed + 1, with_cut=False)
+    tester_f = CutTester(
+        graph_f, forest_f, AlgorithmConfig(n=n, seed=seed + 1), MessageAccountant()
+    )
+    false_positives = sum(tester_f.test_out(root_f) for _ in range(TRIALS))
+    hp_false_positives = sum(tester_f.hp_test_out(root_f) for _ in range(40))
+
+    # E7: HP-TestOut detection rate on the non-empty cut.
+    hp_detections = sum(tester.hp_test_out(root) for _ in range(40))
+
+    # E8: message cost of one TestOut / HP-TestOut.
+    acct = MessageAccountant()
+    tester_cost = CutTester(graph, forest, AlgorithmConfig(n=n, seed=seed), acct)
+    before = acct.snapshot()
+    tester_cost.test_out(root)
+    testout_cost = acct.since(before)
+    stats = tester_cost.tree_statistics(root)
+    from repro.core.primes import prime_for_field
+
+    p = prime_for_field(stats.max_edge_number, stats.num_endpoints, 0.001)
+    before = acct.snapshot()
+    tester_cost.hp_test_out(root, field_prime=p)
+    hp_cost = acct.since(before)
+    tree_size = len(forest.component_of(root))
+
+    return {
+        "n": n,
+        "tree_size": tree_size,
+        "testout_detection_rate": detections / TRIALS,
+        "testout_false_positives": false_positives,
+        "hp_detection_rate": hp_detections / 40,
+        "hp_false_positives": hp_false_positives,
+        "testout_messages": testout_cost.messages,
+        "hp_messages": hp_cost.messages,
+        "testout_broadcast_echoes": testout_cost.broadcast_echoes,
+        "hp_broadcast_echoes": hp_cost.broadcast_echoes,
+        "echo_bits_per_message": 1,
+    }
+
+
+def build_table():
+    rows = []
+    for n in SWEEP_SIZES:
+        r = _measure(n)
+        rows.append(
+            (
+                r["n"],
+                r["tree_size"],
+                r["testout_detection_rate"],
+                r["testout_false_positives"],
+                r["hp_detection_rate"],
+                r["hp_false_positives"],
+                r["testout_messages"],
+                r["hp_messages"],
+            )
+        )
+    return experiment_table(
+        "E6-E8",
+        "TestOut / HP-TestOut: detection rates and single-B&E cost",
+        [
+            "n",
+            "|T|",
+            "TestOut hit rate",
+            "TestOut false pos",
+            "HP hit rate",
+            "HP false pos",
+            "TestOut msgs",
+            "HP msgs",
+        ],
+        rows,
+        notes=[
+            "E6: hit rate >= 1/8 on non-empty cuts, false positives always 0",
+            "E7: HP hit rate ~ 1, false positives always 0",
+            "E8: both cost 2(|T|-1) messages = one broadcast-and-echo (Lemma 1)",
+        ],
+    )
+
+
+def test_testout_detection_and_cost(benchmark):
+    result = benchmark.pedantic(_measure, args=(BENCH_SIZE,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: (round(v, 4) if isinstance(v, float) else v) for k, v in result.items()}
+    )
+    assert result["testout_detection_rate"] >= 1 / 8 * 0.5
+    assert result["testout_false_positives"] == 0
+    assert result["hp_false_positives"] == 0
+    assert result["hp_detection_rate"] == 1.0
+    assert result["testout_broadcast_echoes"] == 1
+    assert result["hp_broadcast_echoes"] == 1
+    assert result["testout_messages"] == 2 * (result["tree_size"] - 1)
+
+
+def main() -> int:
+    build_table().print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

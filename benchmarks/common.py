@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark/experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis import ExperimentTable, bound_value, summarize
+from repro.core.build_mst import BuildMST, BuildReport
+from repro.core.build_st import BuildST
+from repro.core.config import AlgorithmConfig
+from repro.generators import complete_graph, gnm_random_graph, random_connected_graph
+from repro.network.graph import Graph
+
+__all__ = [
+    "DENSITY_PROFILES",
+    "make_graph",
+    "run_build",
+    "sweep_sizes",
+    "experiment_table",
+]
+
+#: Named density profiles: n -> number of edges.
+DENSITY_PROFILES: Dict[str, Callable[[int], int]] = {
+    "sparse": lambda n: min(2 * n, n * (n - 1) // 2),
+    "medium": lambda n: min(int(n ** 1.5), n * (n - 1) // 2),
+    "dense": lambda n: n * (n - 1) // 4,
+    "complete": lambda n: n * (n - 1) // 2,
+}
+
+
+def make_graph(n: int, density: str = "dense", seed: int = 1) -> Graph:
+    """A connected random graph of the requested size and density profile."""
+    if density == "complete":
+        return complete_graph(n, seed=seed)
+    m = max(DENSITY_PROFILES[density](n), n - 1)
+    return random_connected_graph(n, m, seed=seed)
+
+
+def run_build(
+    graph: Graph, kind: str = "mst", seed: int = 0, c: float = 1.0
+) -> BuildReport:
+    """Run the KKT construction of the requested kind and return its report."""
+    config = AlgorithmConfig(n=graph.num_nodes, seed=seed, c=c)
+    builder = BuildMST(graph, config=config) if kind == "mst" else BuildST(graph, config=config)
+    return builder.run()
+
+
+def sweep_sizes(
+    sizes: Sequence[int],
+    runner: Callable[[int], Dict[str, float]],
+) -> List[Dict[str, float]]:
+    """Run ``runner(n)`` for each size and collect its measurement dicts."""
+    return [dict(runner(n), n=n) for n in sizes]
+
+
+def experiment_table(
+    experiment_id: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    notes: Sequence[str] = (),
+) -> ExperimentTable:
+    table = ExperimentTable(experiment_id, title, headers)
+    for row in rows:
+        table.add_row(*row)
+    for note in notes:
+        table.add_note(note)
+    return table

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Repairing an MST whose weights are astronomically large (Appendix A).
+
+Edge weights in real networks can encode composite costs (latency, monetary
+cost, reliability) with many bits of precision — far more than ``log n``.
+The oblivious range search of Section 3.1 then needs Θ(weight-bits) rounds of
+narrowing, while the Appendix-A ``Sample``-based FindMin keeps the cost at
+``O(log n / log log n)`` broadcast-and-echoes no matter how wide the weights
+are.
+
+This example deletes MST edges in a network whose weights have hundreds of
+bits and repairs it with both variants, comparing their costs.
+
+Run with:  python examples/superpolynomial_weights.py [n] [weight_bits] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AlgorithmConfig, FindMin, MessageAccountant, SuperpolyFindMin, build_mst
+from repro.analysis import format_table
+from repro.generators import random_connected_graph
+from repro.verify import is_minimum_spanning_forest
+
+
+def main(argv: list[str]) -> int:
+    n = int(argv[1]) if len(argv) > 1 else 48
+    weight_bits = int(argv[2]) if len(argv) > 2 else 160
+    seed = int(argv[3]) if len(argv) > 3 else 11
+
+    print(f"Network: n = {n}, weights up to ~2^{weight_bits} (seed {seed})")
+    graph = random_connected_graph(n, 4 * n, seed=seed)
+    for index, edge in enumerate(graph.edges()):
+        graph.set_weight(edge.u, edge.v, (edge.weight << (weight_bits - 10)) + index)
+
+    report = build_mst(graph, seed=seed)
+    assert is_minimum_spanning_forest(report.forest)
+    print(f"MST built; heaviest tree edge has {report.forest.graph.max_weight().bit_length()} weight bits")
+
+    rows = []
+    for trial, key in enumerate(sorted(report.forest.marked_edges)[:4]):
+        # Temporarily split the tree at `key` and search for the lightest
+        # reconnecting edge with both FindMin variants.
+        report.forest.unmark(*key)
+        root = max(key, key=lambda node: len(report.forest.component_of(node)))
+
+        sampled = SuperpolyFindMin(
+            graph, report.forest, AlgorithmConfig(n=n, seed=seed + trial), MessageAccountant()
+        ).run(root)
+        oblivious = FindMin(
+            graph, report.forest, AlgorithmConfig(n=n, seed=seed + trial), MessageAccountant()
+        ).find_min(root)
+        report.forest.mark(*key)
+
+        agree = (
+            sampled.edge is not None
+            and oblivious.edge is not None
+            and sampled.edge == oblivious.edge
+        ) or key in {(sampled.edge.u, sampled.edge.v) if sampled.edge else None}
+        rows.append(
+            [
+                f"({key[0]},{key[1]})",
+                sampled.broadcast_echoes,
+                oblivious.broadcast_echoes,
+                sampled.cost.messages,
+                oblivious.cost.messages,
+                "yes" if agree else "differs",
+            ]
+        )
+
+    print()
+    print(format_table(
+        ["deleted edge", "sampled B&Es", "oblivious B&Es", "sampled msgs", "oblivious msgs", "same answer"],
+        rows,
+        title="Appendix-A sampled pivots vs Section-3.1 oblivious search",
+    ))
+    print()
+    print("The sampled-pivot search is insensitive to the number of weight bits;")
+    print("the oblivious search pays for every extra bit of weight precision.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,100 @@
+"""repro: King–Kutten–Thorup (PODC 2015) MST construction & impromptu repair.
+
+A from-scratch reproduction of *"Construction and Impromptu Repair of an MST
+in a Distributed Network with o(m) Communication"*: a CONGEST-model network
+simulator with exact message/bit/round accounting, the paper's Monte Carlo
+procedures (TestOut, HP-TestOut, FindMin, FindAny), synchronous Build-MST /
+Build-ST, impromptu repair under edge updates, and the classic baselines
+(GHS, flooding) the paper improves upon.
+
+Quickstart
+----------
+>>> from repro import build_mst, generators
+>>> graph = generators.random_connected_graph(64, 256, seed=7)
+>>> report = build_mst(graph, seed=7)
+>>> report.is_spanning
+True
+"""
+
+from typing import Optional
+
+from . import analysis, baselines, core, dynamic, generators, network, verify
+from .core import (
+    AlgorithmConfig,
+    BuildMST,
+    BuildReport,
+    BuildST,
+    CutTester,
+    FindAny,
+    FindMin,
+    FindResult,
+    RepairReport,
+    SuperpolyFindMin,
+    TreeRepairer,
+)
+from .network import (
+    Edge,
+    Graph,
+    MessageAccountant,
+    SpanningForest,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmConfig",
+    "BuildMST",
+    "BuildReport",
+    "BuildST",
+    "CutTester",
+    "Edge",
+    "FindAny",
+    "FindMin",
+    "FindResult",
+    "Graph",
+    "MessageAccountant",
+    "RepairReport",
+    "SpanningForest",
+    "SuperpolyFindMin",
+    "TreeRepairer",
+    "analysis",
+    "baselines",
+    "build_mst",
+    "build_st",
+    "core",
+    "dynamic",
+    "generators",
+    "network",
+    "verify",
+    "__version__",
+]
+
+
+def build_mst(
+    graph: Graph,
+    seed: Optional[int] = None,
+    c: float = 1.0,
+    phase_policy: str = "adaptive",
+) -> BuildReport:
+    """Build a minimum spanning forest of ``graph`` (Theorem 1.1, MST).
+
+    Convenience wrapper around :class:`repro.core.BuildMST` with a fresh
+    accountant and a config derived from the graph size.
+    """
+    config = AlgorithmConfig(
+        n=max(graph.num_nodes, 1), c=c, seed=seed, phase_policy=phase_policy
+    )
+    return BuildMST(graph, config=config).run()
+
+
+def build_st(
+    graph: Graph,
+    seed: Optional[int] = None,
+    c: float = 1.0,
+    phase_policy: str = "adaptive",
+) -> BuildReport:
+    """Build a spanning forest of ``graph`` (Theorem 1.1, ST)."""
+    config = AlgorithmConfig(
+        n=max(graph.num_nodes, 1), c=c, seed=seed, phase_policy=phase_policy
+    )
+    return BuildST(graph, config=config).run()

@@ -1,0 +1,210 @@
+"""Experiment-running utilities shared by the benchmark harness and the CLI.
+
+The benchmark modules under ``benchmarks/`` own the experiment *definitions*
+(which workload, which sweep); this module owns the reusable mechanics:
+
+* :class:`MeasurementSeries` — a size-indexed series of measurements with
+  normalisation against the bounds of :mod:`repro.analysis.complexity`;
+* :func:`run_construction_measurement` — one (n, density) construction run of
+  KKT MST/ST plus the matching baseline, returning all the counters the
+  experiment tables report;
+* :func:`estimate_crossover` — given two measured series (e.g. Build-ST and
+  flooding), estimate the input size at which the first drops below the
+  second by log-log extrapolation — used to report "where the o(m) crossover
+  falls" when it lies outside the swept range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.flooding_st import flooding_spanning_tree
+from ..baselines.ghs import GHSBuildMST
+from ..core.build_mst import BuildMST
+from ..core.build_st import BuildST
+from ..core.config import AlgorithmConfig
+from ..generators import complete_graph, random_connected_graph
+from ..network.errors import AlgorithmError
+from ..network.graph import Graph
+from .complexity import bound_value
+
+__all__ = [
+    "MeasurementSeries",
+    "ConstructionMeasurement",
+    "run_construction_measurement",
+    "estimate_crossover",
+    "geometric_sizes",
+]
+
+
+def geometric_sizes(start: int, stop: int, factor: float = 1.5) -> List[int]:
+    """Geometrically spaced problem sizes in [start, stop] (inclusive-ish)."""
+    if start < 1 or stop < start:
+        raise AlgorithmError("need 1 <= start <= stop")
+    sizes = [start]
+    current = float(start)
+    while True:
+        current *= factor
+        value = int(round(current))
+        if value > stop:
+            break
+        if value != sizes[-1]:
+            sizes.append(value)
+    if sizes[-1] != stop:
+        sizes.append(stop)
+    return sizes
+
+
+@dataclass
+class MeasurementSeries:
+    """A named series of measurements indexed by (n, m)."""
+
+    name: str
+    sizes: List[Tuple[int, int]] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, n: int, m: int, value: float) -> None:
+        self.sizes.append((n, m))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def normalised_by(self, bound: str) -> List[float]:
+        """Pointwise value / bound(n, m)."""
+        return [
+            value / max(bound_value(bound, n, m), 1e-12)
+            for (n, m), value in zip(self.sizes, self.values)
+        ]
+
+    def ratio_to(self, other: "MeasurementSeries") -> List[float]:
+        if len(self) != len(other):
+            raise AlgorithmError("series lengths differ")
+        return [
+            mine / theirs if theirs else float("inf")
+            for mine, theirs in zip(self.values, other.values)
+        ]
+
+
+@dataclass
+class ConstructionMeasurement:
+    """All the counters one construction experiment row needs."""
+
+    n: int
+    m: int
+    kkt_messages: int
+    kkt_bits: int
+    kkt_rounds: int
+    kkt_phases: int
+    baseline_messages: int
+    baseline_name: str
+
+    @property
+    def kkt_over_m(self) -> float:
+        return self.kkt_messages / max(self.m, 1)
+
+    @property
+    def baseline_over_m(self) -> float:
+        return self.baseline_messages / max(self.m, 1)
+
+    def kkt_over_bound(self, bound: str) -> float:
+        return self.kkt_messages / max(bound_value(bound, self.n, self.m), 1e-12)
+
+
+def _make_graph(n: int, density: str, seed: int) -> Graph:
+    if density == "complete":
+        return complete_graph(n, seed=seed)
+    if density == "dense":
+        m = n * (n - 1) // 4
+    elif density == "medium":
+        m = int(n ** 1.5)
+    elif density == "sparse":
+        m = 3 * n
+    else:
+        raise AlgorithmError(f"unknown density profile {density!r}")
+    m = min(max(m, n - 1), n * (n - 1) // 2)
+    return random_connected_graph(n, m, seed=seed)
+
+
+def run_construction_measurement(
+    n: int,
+    kind: str = "mst",
+    density: str = "complete",
+    seed: int = 1,
+    c: float = 1.0,
+) -> ConstructionMeasurement:
+    """Run one KKT construction plus its baseline and collect the counters."""
+    if kind not in ("mst", "st"):
+        raise AlgorithmError("kind must be 'mst' or 'st'")
+    graph = _make_graph(n, density, seed)
+    config = AlgorithmConfig(n=n, seed=seed, c=c)
+    builder = BuildMST(graph, config=config) if kind == "mst" else BuildST(graph, config=config)
+    report = builder.run()
+
+    baseline_graph = _make_graph(n, density, seed)
+    if kind == "mst":
+        baseline_messages = GHSBuildMST(baseline_graph).run().messages
+        baseline_name = "ghs"
+    else:
+        _, acct = flooding_spanning_tree(baseline_graph)
+        baseline_messages = acct.messages
+        baseline_name = "flooding"
+
+    return ConstructionMeasurement(
+        n=n,
+        m=graph.num_edges,
+        kkt_messages=report.messages,
+        kkt_bits=report.bits,
+        kkt_rounds=report.rounds_parallel,
+        kkt_phases=report.phases,
+        baseline_messages=baseline_messages,
+        baseline_name=baseline_name,
+    )
+
+
+def estimate_crossover(
+    first: MeasurementSeries,
+    second: MeasurementSeries,
+    size_axis: str = "n",
+) -> Optional[float]:
+    """Estimate the size at which ``first`` drops below ``second``.
+
+    Both series must be measured at the same sizes.  If the crossover happens
+    inside the measured range, the first measured size where
+    ``first < second`` is returned.  Otherwise both series are fitted as
+    power laws (``value ~ a · size^b`` by least squares in log-log space) and
+    the analytic intersection is returned; ``None`` if the fitted exponents
+    never cross (first grows at least as fast as second).
+    """
+    if len(first) != len(second) or len(first) < 2:
+        raise AlgorithmError("need two series of equal length >= 2")
+    axis_index = {"n": 0, "m": 1}[size_axis]
+    sizes = [size[axis_index] for size in first.sizes]
+    if sizes != [size[axis_index] for size in second.sizes]:
+        raise AlgorithmError("series were measured at different sizes")
+
+    for size, a, b in zip(sizes, first.values, second.values):
+        if a < b:
+            return float(size)
+
+    def fit(values: Sequence[float]) -> Tuple[float, float]:
+        xs = [math.log(size) for size in sizes]
+        ys = [math.log(max(value, 1e-9)) for value in values]
+        n_points = len(xs)
+        mean_x = sum(xs) / n_points
+        mean_y = sum(ys) / n_points
+        var_x = sum((x - mean_x) ** 2 for x in xs)
+        if var_x == 0:
+            raise AlgorithmError("degenerate size axis")
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / var_x
+        intercept = mean_y - slope * mean_x
+        return slope, intercept
+
+    slope_a, intercept_a = fit(first.values)
+    slope_b, intercept_b = fit(second.values)
+    if slope_a >= slope_b:
+        return None
+    log_size = (intercept_a - intercept_b) / (slope_b - slope_a)
+    return math.exp(log_size)

@@ -1,0 +1,82 @@
+"""Small statistics helpers for aggregating runs over random seeds."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..network.errors import AlgorithmError
+
+__all__ = ["Summary", "summarize", "mean", "stdev", "median", "percentile"]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise AlgorithmError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((value - mu) ** 2 for value in values) / (len(values) - 1))
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100])."""
+    if not values:
+        raise AlgorithmError("percentile of an empty sequence")
+    if not (0.0 <= q <= 100.0):
+        raise AlgorithmError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class Summary:
+    """Mean / spread summary of a list of measurements."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    maximum: float
+    p90: float
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Normal-approximation half-width of the mean's confidence interval."""
+        if self.count == 0:
+            return 0.0
+        return z * self.stdev / math.sqrt(self.count)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of ``values`` (must be non-empty)."""
+    if not values:
+        raise AlgorithmError("cannot summarize an empty sequence")
+    values = list(values)
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        stdev=stdev(values),
+        minimum=min(values),
+        median=median(values),
+        maximum=max(values),
+        p90=percentile(values, 90.0),
+    )

@@ -1,0 +1,27 @@
+"""Baselines the paper compares against: GHS, flooding, sequential MSTs."""
+
+from .flooding_st import FloodingNode, flooding_spanning_tree
+from .ghs import GHSBuildMST, ghs_build_mst
+from .recompute_repair import RecomputeMaintainer
+from .sequential import (
+    UnionFind,
+    boruvka_mst,
+    kruskal_mst,
+    mst_edge_keys,
+    mst_weight,
+    prim_mst,
+)
+
+__all__ = [
+    "FloodingNode",
+    "GHSBuildMST",
+    "RecomputeMaintainer",
+    "UnionFind",
+    "boruvka_mst",
+    "flooding_spanning_tree",
+    "ghs_build_mst",
+    "kruskal_mst",
+    "mst_edge_keys",
+    "mst_weight",
+    "prim_mst",
+]

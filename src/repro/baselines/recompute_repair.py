@@ -1,0 +1,84 @@
+"""The non-impromptu dynamic baseline: recompute the tree after every update.
+
+Without the paper's machinery, the obvious way to keep a spanning tree or MST
+correct under edge updates is to rebuild it from scratch (flooding for an ST,
+GHS for an MST) whenever an update might have changed it.  The per-update
+message cost is then Θ(m) / Θ(m + n log n) — this is the baseline the
+dynamic-workload benchmark (E11) compares the impromptu repairs against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..network.accounting import CostDelta, MessageAccountant
+from ..network.errors import AlgorithmError
+from ..network.fragments import SpanningForest
+from ..network.graph import Graph, edge_key
+from .flooding_st import flooding_spanning_tree
+from .ghs import GHSBuildMST
+
+__all__ = ["RecomputeMaintainer"]
+
+
+class RecomputeMaintainer:
+    """Maintain a spanning tree / MST by full recomputation after each update."""
+
+    def __init__(self, graph: Graph, mode: str = "mst", accountant: Optional[MessageAccountant] = None):
+        if mode not in ("mst", "st"):
+            raise AlgorithmError("mode must be 'mst' or 'st'")
+        self.graph = graph
+        self.mode = mode
+        self.accountant = accountant if accountant is not None else MessageAccountant()
+        self.forest = SpanningForest(graph)
+        self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, u: int, v: int, weight: int = 1) -> CostDelta:
+        start = self.accountant.snapshot()
+        self.graph.add_edge(*edge_key(u, v), weight)
+        self._rebuild()
+        return self.accountant.since(start)
+
+    def delete_edge(self, u: int, v: int) -> CostDelta:
+        start = self.accountant.snapshot()
+        self.graph.remove_edge(*edge_key(u, v))
+        self._rebuild()
+        return self.accountant.since(start)
+
+    def change_weight(self, u: int, v: int, new_weight: int) -> CostDelta:
+        start = self.accountant.snapshot()
+        self.graph.set_weight(*edge_key(u, v), new_weight)
+        if self.mode == "mst":
+            self._rebuild()
+        return self.accountant.since(start)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _rebuild(self) -> None:
+        self.forest.clear()
+        if self.graph.num_edges == 0:
+            return
+        if self.mode == "mst":
+            builder = GHSBuildMST(self.graph, accountant=self.accountant)
+            report = builder.run()
+            self.forest = report.forest
+        else:
+            forest, _ = flooding_spanning_tree(
+                self.graph, accountant=self.accountant
+            )
+            # Flooding only reaches the source's component; flood the other
+            # components from their smallest node so the forest is spanning.
+            covered = forest.component_of(self.graph.nodes()[0])
+            for component in self.graph.connected_components():
+                if component & covered:
+                    continue
+                extra, _ = flooding_spanning_tree(
+                    self.graph, source=min(component), accountant=self.accountant
+                )
+                for u, v in extra.marked_edges:
+                    forest.mark(u, v)
+            self.forest = forest

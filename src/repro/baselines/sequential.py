@@ -1,0 +1,137 @@
+"""Sequential MST algorithms — the ground truth for correctness checks.
+
+Because the paper makes edge weights distinct (augmented weights), the MST of
+every graph is *unique*, so verifying the distributed construction reduces to
+comparing edge sets with any correct sequential algorithm.  Three classic
+algorithms are provided (Kruskal, Prim, Borůvka) plus the union-find they
+share; having three lets the test suite cross-check them against each other
+as well as against the distributed implementations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..network.errors import AlgorithmError
+from ..network.graph import Edge, Graph
+
+__all__ = ["UnionFind", "kruskal_mst", "prim_mst", "boruvka_mst", "mst_edge_keys", "mst_weight"]
+
+
+class UnionFind:
+    """Disjoint-set forest with union by rank and path compression."""
+
+    def __init__(self, elements: Optional[Iterable[int]] = None) -> None:
+        self._parent: Dict[int, int] = {}
+        self._rank: Dict[int, int] = {}
+        for element in elements or []:
+            self.add(element)
+
+    def add(self, element: int) -> None:
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def find(self, element: int) -> int:
+        if element not in self._parent:
+            raise AlgorithmError(f"unknown element {element}")
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def num_sets(self) -> int:
+        return sum(1 for element in self._parent if self._parent[element] == element)
+
+
+def _aug(graph: Graph, edge: Edge) -> int:
+    return edge.augmented_weight(graph.id_bits)
+
+
+def kruskal_mst(graph: Graph) -> List[Edge]:
+    """Kruskal's algorithm on augmented weights (unique MST / MSF)."""
+    uf = UnionFind(graph.nodes())
+    result: List[Edge] = []
+    for edge in sorted(graph.edges(), key=lambda e: _aug(graph, e)):
+        if uf.union(edge.u, edge.v):
+            result.append(edge)
+    return result
+
+
+def prim_mst(graph: Graph) -> List[Edge]:
+    """Prim's algorithm (per connected component) on augmented weights."""
+    result: List[Edge] = []
+    visited: Set[int] = set()
+    for start in graph.nodes():
+        if start in visited:
+            continue
+        visited.add(start)
+        heap: List[Tuple[int, int, int]] = []
+        for edge in graph.incident_edges(start):
+            heapq.heappush(heap, (_aug(graph, edge), edge.u, edge.v))
+        while heap:
+            _, u, v = heapq.heappop(heap)
+            new_node = None
+            if u in visited and v not in visited:
+                new_node = v
+            elif v in visited and u not in visited:
+                new_node = u
+            if new_node is None:
+                continue
+            visited.add(new_node)
+            result.append(graph.get_edge(u, v))
+            for edge in graph.incident_edges(new_node):
+                if edge.other(new_node) not in visited:
+                    heapq.heappush(heap, (_aug(graph, edge), edge.u, edge.v))
+    return result
+
+
+def boruvka_mst(graph: Graph) -> List[Edge]:
+    """Borůvka's algorithm — the sequential analogue of the paper's Build-MST."""
+    uf = UnionFind(graph.nodes())
+    result: List[Edge] = []
+    total_components = len(graph.connected_components())
+    while uf.num_sets() > total_components:
+        cheapest: Dict[int, Edge] = {}
+        for edge in graph.edges():
+            ru, rv = uf.find(edge.u), uf.find(edge.v)
+            if ru == rv:
+                continue
+            for root in (ru, rv):
+                best = cheapest.get(root)
+                if best is None or _aug(graph, edge) < _aug(graph, best):
+                    cheapest[root] = edge
+        if not cheapest:
+            break
+        for edge in cheapest.values():
+            if uf.union(edge.u, edge.v):
+                result.append(edge)
+    return result
+
+
+def mst_edge_keys(edges: Iterable[Edge]) -> Set[Tuple[int, int]]:
+    """Canonical ``(u, v)`` key set of an edge list (for set comparison)."""
+    return {(edge.u, edge.v) for edge in edges}
+
+
+def mst_weight(edges: Iterable[Edge]) -> int:
+    """Total raw weight of an edge list."""
+    return sum(edge.weight for edge in edges)

@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The CLI exposes the library's main entry points without writing any Python:
+
+* ``build-mst`` / ``build-st`` — construct a tree on a generated graph and
+  print the cost report next to the relevant baseline;
+* ``repair`` — build an MST/ST, apply a churn workload impromptu and print
+  per-update costs;
+* ``sweep`` — run a size sweep of a construction and print the normalised
+  table (a lightweight version of the benchmark harness);
+* ``selfcheck`` — run a quick end-to-end correctness pass (useful after an
+  installation).
+
+Examples
+--------
+::
+
+    python -m repro build-mst --nodes 96 --density complete --seed 7
+    python -m repro repair --nodes 64 --updates 10 --mode mst
+    python -m repro sweep --kind st --sizes 32 64 96 --density complete
+    python -m repro selfcheck
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import ExperimentTable, run_construction_measurement, summarize
+from .baselines import RecomputeMaintainer
+from .core.build_mst import BuildMST
+from .core.build_st import BuildST
+from .core.config import AlgorithmConfig
+from .dynamic import TreeMaintainer, UpdateKind, random_churn, tree_edge_deletions
+from .generators import complete_graph, random_connected_graph
+from .network.graph import Graph
+from .verify import is_minimum_spanning_forest, is_spanning_forest
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------- #
+# argument parsing
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="King-Kutten-Thorup (PODC 2015) MST construction and impromptu repair",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--nodes", "-n", type=int, default=64, help="number of nodes")
+        sub.add_argument(
+            "--density",
+            choices=["sparse", "medium", "dense", "complete"],
+            default="dense",
+            help="edge-density profile",
+        )
+        sub.add_argument("--seed", type=int, default=2015, help="random seed")
+        sub.add_argument("--error-exponent", "-c", type=float, default=1.0,
+                         help="success probability exponent c (failure <= n^-c)")
+
+    for kind in ("mst", "st"):
+        sub = subparsers.add_parser(
+            f"build-{kind}", help=f"construct a {'minimum spanning' if kind == 'mst' else 'spanning'} tree"
+        )
+        add_graph_arguments(sub)
+
+    repair = subparsers.add_parser("repair", help="apply an impromptu-repair churn workload")
+    add_graph_arguments(repair)
+    repair.add_argument("--mode", choices=["mst", "st"], default="mst")
+    repair.add_argument("--updates", type=int, default=10)
+    repair.add_argument("--compare-recompute", action="store_true",
+                        help="also run the recompute-from-scratch baseline")
+
+    sweep = subparsers.add_parser("sweep", help="size sweep of a construction")
+    sweep.add_argument("--kind", choices=["mst", "st"], default="st")
+    sweep.add_argument("--sizes", type=int, nargs="+", default=[32, 64, 96])
+    sweep.add_argument(
+        "--density",
+        choices=["sparse", "medium", "dense", "complete"],
+        default="complete",
+    )
+    sweep.add_argument("--seed", type=int, default=1)
+
+    subparsers.add_parser("selfcheck", help="quick end-to-end correctness pass")
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# commands
+# ---------------------------------------------------------------------- #
+def _make_graph(n: int, density: str, seed: int) -> Graph:
+    if density == "complete":
+        return complete_graph(n, seed=seed)
+    edges = {"sparse": 3 * n, "medium": int(n ** 1.5), "dense": n * (n - 1) // 4}[density]
+    edges = min(max(edges, n - 1), n * (n - 1) // 2)
+    return random_connected_graph(n, edges, seed=seed)
+
+
+def _command_build(kind: str, args: argparse.Namespace) -> int:
+    measurement = run_construction_measurement(
+        args.nodes, kind=kind, density=args.density, seed=args.seed, c=args.error_exponent
+    )
+    table = ExperimentTable(
+        "build", f"Build-{kind.upper()} on a {args.density} graph", ["quantity", "value"]
+    )
+    table.add_row("nodes (n)", measurement.n)
+    table.add_row("edges (m)", measurement.m)
+    table.add_row(f"KKT Build-{kind.upper()} messages", measurement.kkt_messages)
+    table.add_row(f"{measurement.baseline_name} baseline messages", measurement.baseline_messages)
+    table.add_row("KKT messages / m", round(measurement.kkt_over_m, 3))
+    table.add_row("baseline messages / m", round(measurement.baseline_over_m, 3))
+    table.add_row("KKT bits", measurement.kkt_bits)
+    table.add_row("KKT rounds (parallel)", measurement.kkt_rounds)
+    table.add_row("phases", measurement.kkt_phases)
+    print(table.render())
+    return 0
+
+
+def _command_repair(args: argparse.Namespace) -> int:
+    graph = _make_graph(args.nodes, args.density, args.seed)
+    config = AlgorithmConfig(n=args.nodes, seed=args.seed, c=args.error_exponent)
+    builder = BuildMST(graph, config=config) if args.mode == "mst" else BuildST(graph, config=config)
+    report = builder.run()
+    maintainer = TreeMaintainer(graph, report.forest, mode=args.mode, seed=args.seed)
+    stream = tree_edge_deletions(
+        graph, report.forest, count=max(args.updates // 2, 1), seed=args.seed
+    )
+    stream.extend(random_churn(graph, count=args.updates - len(stream) // 2, seed=args.seed + 1))
+    maintainer.apply_stream(stream)
+
+    checker = is_minimum_spanning_forest if args.mode == "mst" else is_spanning_forest
+    ok = checker(report.forest)
+    costs = maintainer.messages_per_update()
+    stats = summarize(costs)
+    table = ExperimentTable(
+        "repair", f"Impromptu {args.mode.upper()} repair under churn", ["quantity", "value"]
+    )
+    table.add_row("nodes / edges", f"{graph.num_nodes} / {graph.num_edges}")
+    table.add_row("updates processed", len(costs))
+    table.add_row("tree invariant holds", ok)
+    table.add_row("messages per update (mean)", round(stats.mean, 1))
+    table.add_row("messages per update (median)", round(stats.median, 1))
+    table.add_row("messages per update (max)", round(stats.maximum, 1))
+    if args.compare_recompute:
+        baseline_graph = _make_graph(args.nodes, args.density, args.seed)
+        baseline = RecomputeMaintainer(baseline_graph, mode=args.mode)
+        baseline_costs = []
+        for update in stream:
+            if update.kind is UpdateKind.DELETE:
+                baseline_costs.append(baseline.delete_edge(update.u, update.v).messages)
+            elif update.kind is UpdateKind.INSERT:
+                baseline_costs.append(
+                    baseline.insert_edge(update.u, update.v, update.weight or 1).messages
+                )
+            else:
+                baseline_costs.append(
+                    baseline.change_weight(update.u, update.v, update.weight or 1).messages
+                )
+        table.add_row("recompute baseline per update (mean)", round(summarize(baseline_costs).mean, 1))
+    print(table.render())
+    return 0 if ok else 1
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    bound = "n_log2_n_over_loglog_n" if args.kind == "mst" else "n_log_n"
+    table = ExperimentTable(
+        "sweep",
+        f"Build-{args.kind.upper()} sweep ({args.density} graphs)",
+        ["n", "m", "KKT msgs", "baseline msgs", "KKT/m", "KKT/bound"],
+    )
+    for n in args.sizes:
+        measurement = run_construction_measurement(
+            n, kind=args.kind, density=args.density, seed=args.seed
+        )
+        table.add_row(
+            measurement.n,
+            measurement.m,
+            measurement.kkt_messages,
+            measurement.baseline_messages,
+            round(measurement.kkt_over_m, 3),
+            round(measurement.kkt_over_bound(bound), 3),
+        )
+    table.add_note(f"bound = {bound}")
+    print(table.render())
+    return 0
+
+
+def _command_selfcheck(_args: argparse.Namespace) -> int:
+    graph = random_connected_graph(32, 120, seed=3)
+    mst = BuildMST(graph, config=AlgorithmConfig(n=32, seed=3)).run()
+    ok_mst = is_minimum_spanning_forest(mst.forest)
+
+    st_graph = random_connected_graph(32, 120, seed=4)
+    st = BuildST(st_graph, config=AlgorithmConfig(n=32, seed=4)).run()
+    ok_st = is_spanning_forest(st.forest)
+
+    maintainer = TreeMaintainer(graph, mst.forest, mode="mst", seed=5)
+    stream = tree_edge_deletions(graph, mst.forest, count=3, seed=5)
+    maintainer.apply_stream(stream)
+    ok_repair = is_minimum_spanning_forest(mst.forest)
+
+    for label, ok in (("build-mst", ok_mst), ("build-st", ok_st), ("repair", ok_repair)):
+        print(f"{label:10s} {'OK' if ok else 'FAILED'}")
+    return 0 if (ok_mst and ok_st and ok_repair) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "build-mst":
+        return _command_build("mst", args)
+    if args.command == "build-st":
+        return _command_build("st", args)
+    if args.command == "repair":
+        return _command_repair(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "selfcheck":
+        return _command_selfcheck(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Build-ST: spanning-tree construction for unweighted graphs (Section 4.2).
+
+The algorithm is Build-MST with two modifications (Lemma 6):
+
+1. ``FindAny-C`` replaces ``FindMin-C``, saving a ``log n / log log n``
+   factor per fragment search and giving the ``O(n log n)`` total;
+2. because the chosen outgoing edges are arbitrary (not minimum-weight),
+   the edges added in one phase may close a cycle — at most one per new
+   component, since every fragment adds at most one edge.  The cycle is
+   detected by the stalled leader election (the cycle nodes are exactly the
+   ones that never hear from all-but-one of their neighbours), and broken by
+   the randomized rule of Section 4.2: every cycle node picks one of its two
+   cycle edges at random and sends a message along it; an edge picked by both
+   endpoints is unmarked.  If no edge was picked by both (probability
+   ``≤ 1/2^{k-1}`` for a cycle of length ``k``), all cycle edges are
+   unmarked.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..network.accounting import MessageAccountant
+from ..network.fragments import SpanningForest
+from ..network.graph import Edge, Graph, edge_key
+from ..network.leader_election import detect_cycle
+from .build_mst import BuildMST, BuildReport
+from .config import AlgorithmConfig
+from .findany import FindAny
+from .findmin import FindResult
+
+__all__ = ["BuildST", "BuildReport"]
+
+
+class BuildST(BuildMST):
+    """Synchronous distributed spanning-tree construction (Theorem 1.1)."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[AlgorithmConfig] = None,
+        accountant: Optional[MessageAccountant] = None,
+    ) -> None:
+        super().__init__(graph, config=config, accountant=accountant)
+        self.any_finder = FindAny(graph, self.forest, self.config, self.accountant)
+        self._cycle_rng = self.config.spawn()
+
+    # ------------------------------------------------------------------ #
+    # overrides
+    # ------------------------------------------------------------------ #
+    def _fragment_search(self, leader: int) -> FindResult:
+        """ST fragments look for *any* outgoing edge (FindAny-C)."""
+        return self.any_finder.find_any_capped(leader)
+
+    def _merge_phase_edges(
+        self, chosen_edges: List[Edge], maximal: Set[FrozenSet[int]]
+    ) -> None:
+        """After marking the chosen edges, detect and break cycles."""
+        super()._merge_phase_edges(chosen_edges, maximal)
+        if not chosen_edges:
+            return
+        touched = {edge.u for edge in chosen_edges} | {edge.v for edge in chosen_edges}
+        handled: Set[int] = set()
+        for node in sorted(touched):
+            if node in handled:
+                continue
+            component = self.forest.component_of(node)
+            handled |= component
+            self._break_cycle_if_any(component)
+
+    # ------------------------------------------------------------------ #
+    # cycle breaking (Section 4.2)
+    # ------------------------------------------------------------------ #
+    def _break_cycle_if_any(self, component: Set[int]) -> None:
+        """Detect a cycle via stalled leader election and break it."""
+        detection = detect_cycle(self.forest, component, self.accountant)
+        if not detection.has_cycle:
+            return
+        cycle_nodes = detection.cycle_nodes
+        cycle_edges = self._cycle_edges(cycle_nodes)
+        id_bits = self.graph.id_bits
+
+        # Every cycle node randomly picks one of its two cycle edges to
+        # propose for exclusion and sends one message along it.
+        picks: Dict[Tuple[int, int], int] = {}
+        for node in cycle_nodes:
+            incident = [e for e in cycle_edges if node in (e[0], e[1])]
+            assert len(incident) == 2, "a cycle node has exactly two cycle edges"
+            chosen = incident[self._cycle_rng.randrange(2)]
+            picks[chosen] = picks.get(chosen, 0) + 1
+        self.accountant.record_messages(
+            len(cycle_nodes), max(2 * id_bits, 1), kind="cycle:exclude"
+        )
+        self.accountant.record_rounds(1)
+
+        doubly_picked = [edge for edge, count in picks.items() if count == 2]
+        for u, v in doubly_picked:
+            self.forest.unmark(u, v)
+
+        # Second detection pass (the paper re-runs leader election).  If the
+        # cycle survived — no edge was picked by both endpoints — unmark all
+        # of its edges.
+        recheck = detect_cycle(self.forest, component, self.accountant)
+        if recheck.has_cycle:
+            for u, v in self._cycle_edges(recheck.cycle_nodes):
+                self.forest.unmark(u, v)
+
+    def _cycle_edges(self, cycle_nodes: List[int]) -> List[Tuple[int, int]]:
+        """Marked edges with both endpoints on the cycle."""
+        on_cycle = set(cycle_nodes)
+        edges = []
+        for u, v in sorted(self.forest.marked_edges):
+            if u in on_cycle and v in on_cycle:
+                edges.append(edge_key(u, v))
+        return edges

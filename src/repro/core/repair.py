@@ -1,0 +1,307 @@
+"""Impromptu repair of an MST or ST under edge updates (Sections 3.2, 4.3).
+
+The repairs are *impromptu*: between updates every node knows only the names
+and weights of its incident edges and which of them are marked — exactly the
+:class:`~repro.network.fragments.SpanningForest` state — and nothing else is
+precomputed or stored.  Each update is processed as follows (Theorem 1.2):
+
+* **Delete / weight increase of a tree edge** ``{u, v}``: the smaller
+  endpoint ``u`` initiates ``FindMin`` (MST) or ``FindAny`` (ST) on its side
+  ``T_u`` of the broken tree.  If a replacement edge is found it is announced
+  with one broadcast over ``T_u`` plus one message across the replacement
+  edge, and marked; if the procedure certifies that no edge leaves ``T_u``,
+  the deleted edge was a bridge and nothing more is needed.  Expected cost:
+  ``O(|T_u| log n / log log n)`` messages for MST, ``O(|T_u|)`` for ST.
+
+* **Insert / weight decrease of an edge** ``{u, v}``: ``u`` runs a single
+  broadcast-and-echo over ``T_u`` that simultaneously (a) discovers whether
+  ``v ∈ T_u`` and (b) computes the heaviest edge on the tree path from ``u``
+  to ``v``.  If ``v`` is in a different tree the new edge joins the forest;
+  otherwise it replaces the heaviest path edge iff it is lighter.
+  Deterministic, ``O(|T_u|)`` messages.
+
+The asynchronous model of Theorem 1.2 is honoured because every step is a
+broadcast-and-echo (self-synchronizing) or a single point-to-point message;
+tests exercise the underlying primitive under adversarial schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..network.accounting import CostDelta, MessageAccountant
+from ..network.broadcast import build_tree_structure
+from ..network.errors import AlgorithmError, GraphError
+from ..network.fragments import SpanningForest
+from ..network.graph import Edge, Graph, edge_key
+from .config import AlgorithmConfig
+from .findany import FindAny
+from .findmin import FindMin, FindResult
+
+__all__ = ["RepairReport", "TreeRepairer"]
+
+
+@dataclass
+class RepairReport:
+    """What a single update did to the maintained tree."""
+
+    action: str
+    updated_edge: Tuple[int, int]
+    was_tree_edge: bool
+    replacement: Optional[Edge]
+    removed: Optional[Edge]
+    bridge: bool
+    cost: CostDelta
+
+    @property
+    def changed_tree(self) -> bool:
+        return self.replacement is not None or self.removed is not None or self.was_tree_edge
+
+
+class TreeRepairer:
+    """Impromptu repair driver for a maintained MST (``mode="mst"``) or ST."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        forest: SpanningForest,
+        config: Optional[AlgorithmConfig] = None,
+        accountant: Optional[MessageAccountant] = None,
+        mode: str = "mst",
+    ) -> None:
+        if mode not in ("mst", "st"):
+            raise AlgorithmError("mode must be 'mst' or 'st'")
+        self.graph = graph
+        self.forest = forest
+        self.config = (
+            config if config is not None else AlgorithmConfig(n=max(graph.num_nodes, 1))
+        )
+        self.accountant = accountant if accountant is not None else MessageAccountant()
+        self.mode = mode
+        self._findmin = FindMin(graph, forest, self.config, self.accountant)
+        self._findany = FindAny(graph, forest, self.config, self.accountant)
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def delete_edge(self, u: int, v: int) -> RepairReport:
+        """Process the deletion of the edge ``{u, v}`` (paper's Delete)."""
+        start = self.accountant.snapshot()
+        key = edge_key(u, v)
+        if not self.graph.has_edge(*key):
+            raise GraphError(f"cannot delete non-existent edge {key}")
+        was_tree_edge = self.forest.is_marked(*key)
+        self.graph.remove_edge(*key)
+        self.forest.unmark(*key)
+
+        if not was_tree_edge:
+            return self._report("delete", key, False, None, None, False, start)
+
+        initiator = key[0]  # the smaller-ID endpoint initiates (paper: u < v)
+        replacement, bridge = self._find_replacement(initiator)
+        return self._report("delete", key, True, replacement, None, bridge, start)
+
+    def insert_edge(self, u: int, v: int, weight: int = 1) -> RepairReport:
+        """Process the insertion of the edge ``{u, v}`` (paper's Insert)."""
+        start = self.accountant.snapshot()
+        key = edge_key(u, v)
+        self.graph.add_edge(key[0], key[1], weight)
+        initiator, other = key
+
+        in_same_tree, heaviest = self._path_query(initiator, other)
+        if not in_same_tree:
+            # The new edge joins two maintained trees; one message across it
+            # tells the other endpoint to mark.
+            self._charge_edge_message(key)
+            self.forest.mark(*key)
+            return self._report("insert", key, False, self.graph.get_edge(*key), None, False, start)
+
+        if self.mode == "st":
+            # A spanning tree ignores redundant edges.
+            return self._report("insert", key, False, None, None, False, start)
+
+        assert heaviest is not None
+        new_edge = self.graph.get_edge(*key)
+        if heaviest.augmented_weight(self.graph.id_bits) > new_edge.augmented_weight(
+            self.graph.id_bits
+        ):
+            # Swap: broadcast the removal of the heaviest path edge, mark the
+            # new one.
+            self._findmin.tester.executor.broadcast_only(
+                root=initiator, broadcast_bits=2 * self.graph.id_bits, kind="remove_edge"
+            )
+            self._charge_edge_message(key)
+            self.forest.unmark(heaviest.u, heaviest.v)
+            self.forest.mark(*key)
+            return self._report("insert", key, False, new_edge, heaviest, False, start)
+        return self._report("insert", key, False, None, None, False, start)
+
+    def increase_weight(self, u: int, v: int, new_weight: int) -> RepairReport:
+        """Weight increase: like a delete for tree edges, a no-op otherwise."""
+        start = self.accountant.snapshot()
+        key = edge_key(u, v)
+        edge = self.graph.get_edge(*key)
+        if new_weight < edge.weight:
+            raise AlgorithmError("increase_weight called with a smaller weight")
+        was_tree_edge = self.forest.is_marked(*key)
+        self.graph.set_weight(key[0], key[1], new_weight)
+
+        if not was_tree_edge or self.mode == "st":
+            # Non-tree edges only get heavier (still not needed); an ST does
+            # not care about weights at all.
+            return self._report("increase_weight", key, was_tree_edge, None, None, False, start)
+
+        # Temporarily drop the edge from the tree and look for the lightest
+        # edge across the cut it used to cover — possibly itself.
+        self.forest.unmark(*key)
+        initiator = key[0]
+        replacement, bridge = self._find_replacement(initiator)
+        if replacement is None and not bridge:
+            # The Monte Carlo search exhausted its budget; fall back to
+            # keeping the (now heavier) edge so the tree stays spanning.
+            self.forest.mark(*key)
+            replacement = self.graph.get_edge(*key)
+        removed = None if replacement == self.graph.get_edge(*key) else self.graph.get_edge(*key)
+        return self._report("increase_weight", key, True, replacement, removed, bridge, start)
+
+    def decrease_weight(self, u: int, v: int, new_weight: int) -> RepairReport:
+        """Weight decrease: like an insert for non-tree edges, a no-op otherwise."""
+        start = self.accountant.snapshot()
+        key = edge_key(u, v)
+        edge = self.graph.get_edge(*key)
+        if new_weight > edge.weight:
+            raise AlgorithmError("decrease_weight called with a larger weight")
+        was_tree_edge = self.forest.is_marked(*key)
+        self.graph.set_weight(key[0], key[1], new_weight)
+        if was_tree_edge or self.mode == "st":
+            # A tree edge that gets lighter stays in the MST; an ST ignores weights.
+            return self._report("decrease_weight", key, was_tree_edge, None, None, False, start)
+
+        initiator, other = key
+        in_same_tree, heaviest = self._path_query(initiator, other)
+        if not in_same_tree:
+            raise AlgorithmError(
+                "a non-tree edge with endpoints in different maintained trees "
+                "violates the spanning invariant"
+            )
+        assert heaviest is not None
+        new_edge = self.graph.get_edge(*key)
+        if heaviest.augmented_weight(self.graph.id_bits) > new_edge.augmented_weight(
+            self.graph.id_bits
+        ):
+            self._findmin.tester.executor.broadcast_only(
+                root=initiator, broadcast_bits=2 * self.graph.id_bits, kind="remove_edge"
+            )
+            self._charge_edge_message(key)
+            self.forest.unmark(heaviest.u, heaviest.v)
+            self.forest.mark(*key)
+            return self._report("decrease_weight", key, False, new_edge, heaviest, False, start)
+        return self._report("decrease_weight", key, False, None, None, False, start)
+
+    # ------------------------------------------------------------------ #
+    # building blocks
+    # ------------------------------------------------------------------ #
+    def _find_replacement(self, initiator: int) -> Tuple[Optional[Edge], bool]:
+        """Search for the replacement edge across the cut (FindMin/FindAny).
+
+        Returns ``(edge_or_None, bridge)`` where ``bridge`` means the search
+        certified that no replacement exists.  On a budget-exhausted ∅ the
+        search is retried (FindMin / FindAny already retry internally with
+        w.h.p. guarantees; an extra outer retry keeps the maintained forest
+        spanning even in the astronomically unlikely total-failure case,
+        while charging the extra messages honestly).
+        """
+        for _ in range(3):
+            result = self._search(initiator)
+            if result.edge is not None:
+                self._announce_replacement(initiator, result.edge)
+                return result.edge, False
+            if result.verified_empty:
+                return None, True
+        return None, False
+
+    def _search(self, initiator: int) -> FindResult:
+        if self.mode == "mst":
+            return self._findmin.find_min(initiator)
+        return self._findany.find_any(initiator)
+
+    def _announce_replacement(self, initiator: int, edge: Edge) -> None:
+        """Broadcast the replacement over ``T_initiator`` and mark it."""
+        component_size = len(self.forest.component_of(initiator))
+        if component_size > 1:
+            self._findmin.tester.executor.broadcast_only(
+                root=initiator, broadcast_bits=2 * self.graph.id_bits, kind="add_edge"
+            )
+        self._charge_edge_message((edge.u, edge.v))
+        self.forest.mark(edge.u, edge.v)
+
+    def _path_query(self, root: int, target: int) -> Tuple[bool, Optional[Edge]]:
+        """One B&E over ``T_root``: is ``target`` there, and if so which is the
+        heaviest edge on the tree path from ``root`` to ``target``?"""
+        id_bits = self.graph.id_bits
+        executor = self._findmin.tester.executor
+        tree = build_tree_structure(self.forest, root)
+
+        def propagate(parent_state, parent: int, child: int):
+            edge = self.graph.get_edge(parent, child)
+            if parent_state is None:
+                return edge
+            if edge.augmented_weight(id_bits) > parent_state.augmented_weight(id_bits):
+                return edge
+            return parent_state
+
+        def collect(node: int, state):
+            if node == target:
+                return state if state is not None else "root-is-target"
+            return None
+
+        def combine(local_value, children):
+            for value in [local_value] + list(children):
+                if value is not None:
+                    return value
+            return None
+
+        answer = executor.broadcast_with_downward_state(
+            root=root,
+            initial_state=None,
+            propagate=propagate,
+            broadcast_bits=2 * id_bits + self.graph.max_weight().bit_length() + 2,
+            echo_bits=2 * id_bits + self.graph.max_weight().bit_length() + 2,
+            collect=collect,
+            combine=combine,
+            tree=tree,
+            kind="path_query",
+        )
+        if answer is None:
+            return False, None
+        if answer == "root-is-target":
+            # target == root: a self-loop insert is rejected earlier, so this
+            # can only mean the path is empty; treat as same tree, no path edge.
+            return True, None
+        return True, answer
+
+    def _charge_edge_message(self, key: Tuple[int, int]) -> None:
+        self._findmin.tester.executor.point_to_point_along_edge(
+            key[0], key[1], size_bits=2 * self.graph.id_bits, kind="mark_edge"
+        )
+
+    def _report(
+        self,
+        action: str,
+        key: Tuple[int, int],
+        was_tree_edge: bool,
+        replacement: Optional[Edge],
+        removed: Optional[Edge],
+        bridge: bool,
+        start,
+    ) -> RepairReport:
+        return RepairReport(
+            action=action,
+            updated_edge=key,
+            was_tree_edge=was_tree_edge,
+            replacement=replacement,
+            removed=removed,
+            bridge=bridge,
+            cost=self.accountant.since(start),
+        )

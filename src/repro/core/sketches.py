@@ -1,0 +1,133 @@
+"""Node-local sketch values carried by the echoes of the KKT procedures.
+
+Every procedure in the paper aggregates *node-local* quantities up the tree:
+
+* ``TestOut`` — the parity of the hashed incident-edge set of each node
+  (:func:`local_parity`); parities XOR up the tree, and edges internal to the
+  tree cancel because they are counted at both endpoints.
+
+* ``FindAny`` — (i) the prefix-parity vector ``h_i(y)`` = parity of the
+  node's incident edges hashing into ``[2^i]`` (:func:`local_prefix_parities`),
+  and (ii) the XOR of the edge numbers of the incident edges hashing below a
+  chosen prefix (:func:`local_xor_below`); both cancel on internal edges and
+  therefore isolate cut edges.
+
+* ``FindMin`` — ``w`` parities in parallel, one per weight sub-range
+  (:func:`local_range_parities`), packed into a single ``w``-bit echo word.
+
+These are pure functions of a node's incident edge list plus the broadcast
+parameters, matching the locality contract of the broadcast-and-echo
+executor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from ..network.graph import Edge, Graph
+from .hashing import OddHashFunction, PairwiseIndependentHash
+
+__all__ = [
+    "local_parity",
+    "local_range_parities",
+    "local_prefix_parities",
+    "local_xor_below",
+    "xor_combine",
+    "xor_vector_combine",
+    "pack_parity_word",
+    "unpack_parity_word",
+]
+
+
+def local_parity(
+    edge_numbers: Iterable[int],
+    odd_hash: OddHashFunction,
+) -> int:
+    """Parity (0/1) of the number of given edge numbers hashing to 1."""
+    return odd_hash.parity_of(edge_numbers)
+
+
+def local_range_parities(
+    edges: Sequence[Tuple[int, int]],
+    odd_hash: OddHashFunction,
+    ranges: Sequence[Tuple[int, int]],
+) -> List[int]:
+    """Per-range parities for FindMin's parallel TestOuts.
+
+    ``edges`` is a list of ``(augmented_weight, edge_number)`` pairs for the
+    node's incident edges; ``ranges`` is the list of ``[j_i, k_i]`` intervals
+    (inclusive) being tested in parallel.  The same hash function is reused
+    for every range, exactly as in Section 3.1.
+    """
+    parities = [0] * len(ranges)
+    for weight, edge_number in edges:
+        hashed = odd_hash(edge_number)
+        if not hashed:
+            continue
+        for index, (low, high) in enumerate(ranges):
+            if low <= weight <= high:
+                parities[index] ^= 1
+    return parities
+
+
+def local_prefix_parities(
+    edge_numbers: Iterable[int],
+    pairwise_hash: PairwiseIndependentHash,
+) -> List[int]:
+    """FindAny step 3(b): parity of incident edges hashing into ``[2^i]``.
+
+    Index ``i`` runs from 0 to ``lg r`` inclusive, so the last entry is the
+    parity of *all* incident edges.
+    """
+    log_range = pairwise_hash.log_range
+    parities = [0] * (log_range + 1)
+    for edge_number in edge_numbers:
+        value = pairwise_hash(edge_number)
+        for i in range(log_range + 1):
+            if value < (1 << i):
+                parities[i] ^= 1
+    return parities
+
+
+def local_xor_below(
+    edge_numbers: Iterable[int],
+    pairwise_hash: PairwiseIndependentHash,
+    prefix_exponent: int,
+) -> int:
+    """FindAny step 3(d): XOR of incident edge numbers hashing below ``2^prefix``."""
+    result = 0
+    for edge_number in edge_numbers:
+        if pairwise_hash(edge_number) < (1 << prefix_exponent):
+            result ^= edge_number
+    return result
+
+
+def xor_combine(local: int, children: Sequence[int]) -> int:
+    """Associative combiner: XOR a local value with children values."""
+    result = local
+    for value in children:
+        result ^= value
+    return result
+
+
+def xor_vector_combine(local: Sequence[int], children: Sequence[Sequence[int]]) -> List[int]:
+    """Componentwise XOR of equal-length vectors (local plus children)."""
+    result = list(local)
+    for vector in children:
+        for index, value in enumerate(vector):
+            result[index] ^= value
+    return result
+
+
+def pack_parity_word(parities: Sequence[int]) -> int:
+    """Pack a list of single-bit parities into one word (bit i = parity i)."""
+    word = 0
+    for index, bit in enumerate(parities):
+        if bit:
+            word |= 1 << index
+    return word
+
+
+def unpack_parity_word(word: int, width: int) -> List[int]:
+    """Inverse of :func:`pack_parity_word`."""
+    return [(word >> index) & 1 for index in range(width)]

@@ -1,0 +1,24 @@
+"""Dynamic-network layer: update streams, workloads and impromptu maintainers."""
+
+from .maintainer import TreeMaintainer, UpdateOutcome
+from .trace import UpdateTrace
+from .updates import EdgeUpdate, UpdateKind, UpdateStream
+from .workloads import (
+    bridge_deletions,
+    random_churn,
+    tree_edge_deletions,
+    weight_perturbations,
+)
+
+__all__ = [
+    "EdgeUpdate",
+    "TreeMaintainer",
+    "UpdateKind",
+    "UpdateOutcome",
+    "UpdateStream",
+    "UpdateTrace",
+    "bridge_deletions",
+    "random_churn",
+    "tree_edge_deletions",
+    "weight_perturbations",
+]

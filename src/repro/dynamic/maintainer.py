@@ -1,0 +1,125 @@
+"""Impromptu maintainers: apply update streams with the paper's repairs.
+
+:class:`TreeMaintainer` owns a graph and its maintained forest, dispatches
+each :class:`~repro.dynamic.updates.EdgeUpdate` to the corresponding
+:class:`~repro.core.repair.TreeRepairer` operation, records per-update costs,
+and — crucially for the *impromptu* claim — constructs a **fresh** repairer
+for every update, so no Python object state can leak information between
+updates.  The only state that survives is the graph (each node's incident
+edges and weights) and the marked-edge set, exactly the knowledge the paper
+allows a node to keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.config import AlgorithmConfig
+from ..core.repair import RepairReport, TreeRepairer
+from ..network.accounting import MessageAccountant
+from ..network.errors import AlgorithmError
+from ..network.fragments import SpanningForest
+from ..network.graph import Graph
+from .updates import EdgeUpdate, UpdateKind, UpdateStream
+
+__all__ = ["UpdateOutcome", "TreeMaintainer"]
+
+
+@dataclass
+class UpdateOutcome:
+    """One processed update together with its repair report."""
+
+    update: EdgeUpdate
+    report: RepairReport
+
+    @property
+    def messages(self) -> int:
+        return self.report.cost.messages
+
+
+class TreeMaintainer:
+    """Maintain an MST (``mode="mst"``) or ST under an update stream."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        forest: SpanningForest,
+        mode: str = "mst",
+        config: Optional[AlgorithmConfig] = None,
+        accountant: Optional[MessageAccountant] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if mode not in ("mst", "st"):
+            raise AlgorithmError("mode must be 'mst' or 'st'")
+        if forest.graph is not graph:
+            raise AlgorithmError("the forest must be defined over the same graph object")
+        self.graph = graph
+        self.forest = forest
+        self.mode = mode
+        self.accountant = accountant if accountant is not None else MessageAccountant()
+        self._base_config = config
+        self._seed = seed
+        self._update_counter = 0
+        self.history: List[UpdateOutcome] = []
+
+    # ------------------------------------------------------------------ #
+    # applying updates
+    # ------------------------------------------------------------------ #
+    def apply(self, update: EdgeUpdate) -> UpdateOutcome:
+        """Process one update impromptu and return its outcome."""
+        repairer = self._fresh_repairer()
+        if update.kind == UpdateKind.INSERT:
+            report = repairer.insert_edge(update.u, update.v, update.weight or 1)
+        elif update.kind == UpdateKind.DELETE:
+            report = repairer.delete_edge(update.u, update.v)
+        elif update.kind == UpdateKind.INCREASE_WEIGHT:
+            assert update.weight is not None
+            report = repairer.increase_weight(update.u, update.v, update.weight)
+        elif update.kind == UpdateKind.DECREASE_WEIGHT:
+            assert update.weight is not None
+            report = repairer.decrease_weight(update.u, update.v, update.weight)
+        else:  # pragma: no cover - exhaustive enum
+            raise AlgorithmError(f"unknown update kind {update.kind!r}")
+        outcome = UpdateOutcome(update=update, report=report)
+        self.history.append(outcome)
+        return outcome
+
+    def apply_stream(self, stream: UpdateStream) -> List[UpdateOutcome]:
+        """Process every update of ``stream`` in order."""
+        return [self.apply(update) for update in stream]
+
+    # ------------------------------------------------------------------ #
+    # accounting helpers
+    # ------------------------------------------------------------------ #
+    def total_messages(self) -> int:
+        return sum(outcome.messages for outcome in self.history)
+
+    def messages_per_update(self) -> List[int]:
+        return [outcome.messages for outcome in self.history]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _fresh_repairer(self) -> TreeRepairer:
+        """A brand-new repairer per update: nothing persists in between.
+
+        The config (and hence the RNG) is re-derived from the seed and the
+        update counter so runs stay reproducible while each update's
+        randomness is independent.
+        """
+        self._update_counter += 1
+        if self._base_config is not None:
+            config = self._base_config
+        else:
+            derived_seed = (
+                None if self._seed is None else self._seed + 7919 * self._update_counter
+            )
+            config = AlgorithmConfig(n=max(self.graph.num_nodes, 1), seed=derived_seed)
+        return TreeRepairer(
+            self.graph,
+            self.forest,
+            config=config,
+            accountant=self.accountant,
+            mode=self.mode,
+        )

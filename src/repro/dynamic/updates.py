@@ -1,0 +1,118 @@
+"""Edge-update events and streams for dynamic networks.
+
+A dynamic distributed network (paper, Section 1) undergoes online edge
+insertions and deletions; the paper additionally treats weight increases like
+deletions and weight decreases like insertions.  :class:`EdgeUpdate` is the
+event type, :class:`UpdateStream` a thin ordered container with convenience
+constructors and validation against a graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, List, Optional
+
+from ..network.errors import AlgorithmError
+from ..network.graph import Graph, edge_key
+
+__all__ = ["UpdateKind", "EdgeUpdate", "UpdateStream"]
+
+
+class UpdateKind(str, Enum):
+    """The four update types of Theorem 1.2."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    INCREASE_WEIGHT = "increase_weight"
+    DECREASE_WEIGHT = "decrease_weight"
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One update to the communication graph."""
+
+    kind: UpdateKind
+    u: int
+    v: int
+    weight: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise AlgorithmError("self-loop updates are not allowed")
+        if self.kind in (UpdateKind.INSERT, UpdateKind.INCREASE_WEIGHT, UpdateKind.DECREASE_WEIGHT):
+            if self.weight is None:
+                raise AlgorithmError(f"{self.kind.value} updates need a weight")
+
+    @property
+    def key(self):
+        return edge_key(self.u, self.v)
+
+    @staticmethod
+    def insert(u: int, v: int, weight: int = 1) -> "EdgeUpdate":
+        return EdgeUpdate(UpdateKind.INSERT, u, v, weight)
+
+    @staticmethod
+    def delete(u: int, v: int) -> "EdgeUpdate":
+        return EdgeUpdate(UpdateKind.DELETE, u, v)
+
+    @staticmethod
+    def increase_weight(u: int, v: int, weight: int) -> "EdgeUpdate":
+        return EdgeUpdate(UpdateKind.INCREASE_WEIGHT, u, v, weight)
+
+    @staticmethod
+    def decrease_weight(u: int, v: int, weight: int) -> "EdgeUpdate":
+        return EdgeUpdate(UpdateKind.DECREASE_WEIGHT, u, v, weight)
+
+
+class UpdateStream:
+    """An ordered sequence of edge updates."""
+
+    def __init__(self, updates: Optional[Iterable[EdgeUpdate]] = None) -> None:
+        self._updates: List[EdgeUpdate] = list(updates or [])
+
+    def append(self, update: EdgeUpdate) -> None:
+        self._updates.append(update)
+
+    def extend(self, updates: Iterable[EdgeUpdate]) -> None:
+        self._updates.extend(updates)
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __getitem__(self, index: int) -> EdgeUpdate:
+        return self._updates[index]
+
+    def validate_against(self, graph: Graph) -> None:
+        """Check the stream is applicable to (a copy of) ``graph`` in order.
+
+        Raises :class:`AlgorithmError` on the first inapplicable update (e.g.
+        deleting an edge that does not exist at that point of the stream).
+        """
+        shadow = graph.copy()
+        for index, update in enumerate(self._updates):
+            u, v = update.key
+            if update.kind == UpdateKind.INSERT:
+                if shadow.has_edge(u, v):
+                    raise AlgorithmError(f"update {index}: edge ({u},{v}) already exists")
+                shadow.add_edge(u, v, update.weight or 1)
+            elif update.kind == UpdateKind.DELETE:
+                if not shadow.has_edge(u, v):
+                    raise AlgorithmError(f"update {index}: edge ({u},{v}) does not exist")
+                shadow.remove_edge(u, v)
+            else:
+                if not shadow.has_edge(u, v):
+                    raise AlgorithmError(f"update {index}: edge ({u},{v}) does not exist")
+                current = shadow.get_edge(u, v).weight
+                assert update.weight is not None
+                if update.kind == UpdateKind.INCREASE_WEIGHT and update.weight < current:
+                    raise AlgorithmError(f"update {index}: weight did not increase")
+                if update.kind == UpdateKind.DECREASE_WEIGHT and update.weight > current:
+                    raise AlgorithmError(f"update {index}: weight did not decrease")
+                shadow.set_weight(u, v, update.weight)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UpdateStream({len(self._updates)} updates)"

@@ -1,0 +1,211 @@
+"""Update-workload generators for the dynamic-network experiments.
+
+Theorem 1.2's costs depend on what kind of edge is touched, so the workloads
+distinguish:
+
+* ``tree_edge_deletions`` — deletions that always hit a maintained tree edge
+  (the expensive case: a replacement search is required);
+* ``random_churn`` — a mix of random insertions and deletions, keeping the
+  graph connected if asked (what a long-lived network experiences);
+* ``weight_perturbations`` — random weight increases/decreases (MST only);
+* ``bridge_deletions`` — deletions of bridges (the "no replacement" path).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple
+
+from ..network.errors import AlgorithmError
+from ..network.fragments import SpanningForest
+from ..network.graph import Graph, edge_key
+from .updates import EdgeUpdate, UpdateStream
+
+__all__ = [
+    "tree_edge_deletions",
+    "random_churn",
+    "weight_perturbations",
+    "bridge_deletions",
+]
+
+
+def tree_edge_deletions(
+    graph: Graph,
+    forest: SpanningForest,
+    count: int,
+    seed: Optional[int] = None,
+    reinsert: bool = True,
+) -> UpdateStream:
+    """Alternating delete/insert of randomly chosen *tree* edges.
+
+    Each deletion targets an edge currently marked in ``forest``; with
+    ``reinsert`` the same edge is inserted back right after (with its old
+    weight) so that the stream can be arbitrarily long without exhausting the
+    graph.  The stream is generated against shadow copies, so the real graph
+    and forest are untouched until a maintainer applies it.
+    """
+    rng = random.Random(seed)
+    shadow_graph = graph.copy()
+    shadow_marked: Set[Tuple[int, int]] = set(forest.marked_edges)
+    stream = UpdateStream()
+    if not shadow_marked:
+        raise AlgorithmError("the forest has no marked edges to delete")
+    for _ in range(count):
+        key = sorted(shadow_marked)[rng.randrange(len(shadow_marked))]
+        weight = shadow_graph.get_edge(*key).weight
+        stream.append(EdgeUpdate.delete(*key))
+        shadow_graph.remove_edge(*key)
+        shadow_marked.discard(key)
+        if reinsert:
+            stream.append(EdgeUpdate.insert(key[0], key[1], weight))
+            shadow_graph.add_edge(key[0], key[1], weight)
+            # After re-insertion the edge may or may not re-enter the tree;
+            # for workload generation we optimistically treat it as available
+            # again, which keeps the deletion pool large.
+            shadow_marked.add(key)
+    return stream
+
+
+def random_churn(
+    graph: Graph,
+    count: int,
+    seed: Optional[int] = None,
+    max_weight: Optional[int] = None,
+    insert_fraction: float = 0.5,
+) -> UpdateStream:
+    """A random mix of edge insertions and deletions.
+
+    Deletions pick a uniformly random existing edge; insertions a uniformly
+    random absent pair.  ``insert_fraction`` sets the insert/delete mix.  The
+    stream is always applicable in order (generated against a shadow copy).
+    """
+    if not (0.0 <= insert_fraction <= 1.0):
+        raise AlgorithmError("insert_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    shadow = graph.copy()
+    nodes = shadow.nodes()
+    if len(nodes) < 2:
+        raise AlgorithmError("need at least two nodes for churn")
+    max_weight = max_weight if max_weight is not None else max(shadow.max_weight(), len(nodes))
+    stream = UpdateStream()
+    for _ in range(count):
+        do_insert = rng.random() < insert_fraction
+        if do_insert:
+            pair = _random_absent_pair(shadow, rng)
+            if pair is None:
+                do_insert = False
+            else:
+                weight = rng.randint(1, max_weight)
+                stream.append(EdgeUpdate.insert(pair[0], pair[1], weight))
+                shadow.add_edge(pair[0], pair[1], weight)
+                continue
+        edges = shadow.edges()
+        if not edges:
+            continue
+        edge = edges[rng.randrange(len(edges))]
+        stream.append(EdgeUpdate.delete(edge.u, edge.v))
+        shadow.remove_edge(edge.u, edge.v)
+    return stream
+
+
+def weight_perturbations(
+    graph: Graph,
+    count: int,
+    seed: Optional[int] = None,
+    max_delta: int = 10,
+) -> UpdateStream:
+    """Random weight increases and decreases on existing edges."""
+    rng = random.Random(seed)
+    shadow = graph.copy()
+    stream = UpdateStream()
+    edges = shadow.edges()
+    if not edges:
+        raise AlgorithmError("the graph has no edges to perturb")
+    for _ in range(count):
+        edge = shadow.edges()[rng.randrange(shadow.num_edges)]
+        delta = rng.randint(1, max_delta)
+        if rng.random() < 0.5:
+            new_weight = edge.weight + delta
+            stream.append(EdgeUpdate.increase_weight(edge.u, edge.v, new_weight))
+        else:
+            new_weight = max(1, edge.weight - delta)
+            if new_weight >= edge.weight:
+                new_weight = max(1, edge.weight - 1)
+            if new_weight == edge.weight:
+                continue
+            stream.append(EdgeUpdate.decrease_weight(edge.u, edge.v, new_weight))
+        shadow.set_weight(edge.u, edge.v, new_weight)
+    return stream
+
+
+def bridge_deletions(
+    graph: Graph,
+    count: int,
+    seed: Optional[int] = None,
+) -> UpdateStream:
+    """Deletions of bridge edges (no replacement exists): the ∅ path of repair."""
+    rng = random.Random(seed)
+    shadow = graph.copy()
+    stream = UpdateStream()
+    for _ in range(count):
+        bridges = _find_bridges(shadow)
+        if not bridges:
+            break
+        key = sorted(bridges)[rng.randrange(len(bridges))]
+        stream.append(EdgeUpdate.delete(*key))
+        shadow.remove_edge(*key)
+    return stream
+
+
+# ---------------------------------------------------------------------- #
+# helpers
+# ---------------------------------------------------------------------- #
+def _random_absent_pair(graph: Graph, rng: random.Random) -> Optional[Tuple[int, int]]:
+    nodes = graph.nodes()
+    for _ in range(200):
+        u = nodes[rng.randrange(len(nodes))]
+        v = nodes[rng.randrange(len(nodes))]
+        if u != v and not graph.has_edge(u, v):
+            return edge_key(u, v)
+    return None
+
+
+def _find_bridges(graph: Graph) -> List[Tuple[int, int]]:
+    """All bridges of the graph (iterative Tarjan low-link)."""
+    index = {}
+    low = {}
+    bridges: List[Tuple[int, int]] = []
+    counter = [0]
+
+    for root in graph.nodes():
+        if root in index:
+            continue
+        stack: List[Tuple[int, Optional[int], int]] = [(root, None, 0)]
+        order: List[Tuple[int, Optional[int]]] = []
+        while stack:
+            node, parent, child_index = stack.pop()
+            if child_index == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                order.append((node, parent))
+            neighbors = graph.neighbors(node)
+            advanced = False
+            for next_index in range(child_index, len(neighbors)):
+                nbr = neighbors[next_index]
+                if nbr == parent:
+                    continue
+                if nbr not in index:
+                    stack.append((node, parent, next_index + 1))
+                    stack.append((nbr, node, 0))
+                    advanced = True
+                    break
+                low[node] = min(low[node], index[nbr])
+            if advanced:
+                continue
+        # Post-process in reverse discovery order to propagate low-links.
+        for node, parent in reversed(order):
+            if parent is not None:
+                low[parent] = min(low[parent], low[node])
+                if low[node] > index[parent]:
+                    bridges.append(edge_key(node, parent))
+    return bridges

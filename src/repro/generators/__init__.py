@@ -1,0 +1,41 @@
+"""Graph and weight generators for tests, examples and benchmarks."""
+
+from .random_graphs import (
+    gnm_random_graph,
+    gnp_random_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    random_spanning_tree_forest,
+)
+from .structured import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+    circulant_expander,
+)
+from .weights import (
+    assign_adversarial_weights,
+    assign_permutation_weights,
+    assign_uniform_weights,
+)
+
+__all__ = [
+    "assign_adversarial_weights",
+    "assign_permutation_weights",
+    "assign_uniform_weights",
+    "circulant_expander",
+    "complete_graph",
+    "cycle_graph",
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "path_graph",
+    "random_connected_graph",
+    "random_geometric_graph",
+    "random_spanning_tree_forest",
+    "star_graph",
+]

@@ -1,0 +1,181 @@
+"""Random communication-graph generators.
+
+All generators return a :class:`repro.network.graph.Graph` whose node IDs are
+``1..n`` and whose ``id_bits`` is the smallest width that fits ``n`` (so that
+edge numbers, and hence message sizes, are ``O(log n)`` as the paper
+assumes).  Edge weights default to a random permutation of ``1..m`` — distinct
+raw weights, mirroring the paper's distinct-weight assumption — but any of
+the schemes in :mod:`repro.generators.weights` can be applied afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Set, Tuple
+
+from ..network.errors import GraphError
+from ..network.fragments import SpanningForest
+from ..network.graph import Graph
+
+__all__ = [
+    "id_bits_for",
+    "gnp_random_graph",
+    "gnm_random_graph",
+    "random_connected_graph",
+    "random_geometric_graph",
+    "random_spanning_tree_forest",
+]
+
+
+def id_bits_for(n: int) -> int:
+    """The smallest ID width that accommodates node IDs ``1..n``."""
+    return max(2, (n + 1).bit_length())
+
+
+def _finalize_weights(
+    graph: Graph, edges: List[Tuple[int, int]], rng: random.Random, max_weight: Optional[int]
+) -> Graph:
+    weights = list(range(1, len(edges) + 1))
+    rng.shuffle(weights)
+    if max_weight is not None:
+        weights = [1 + (w % max_weight) for w in weights]
+    for (u, v), weight in zip(edges, weights):
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+def gnp_random_graph(
+    n: int,
+    p: float,
+    seed: Optional[int] = None,
+    max_weight: Optional[int] = None,
+) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` with permutation weights."""
+    if not (0.0 <= p <= 1.0):
+        raise GraphError("p must lie in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(id_bits=id_bits_for(n))
+    for node in range(1, n + 1):
+        graph.add_node(node)
+    edges = [
+        (u, v)
+        for u in range(1, n + 1)
+        for v in range(u + 1, n + 1)
+        if rng.random() < p
+    ]
+    return _finalize_weights(graph, edges, rng, max_weight)
+
+
+def gnm_random_graph(
+    n: int,
+    m: int,
+    seed: Optional[int] = None,
+    max_weight: Optional[int] = None,
+) -> Graph:
+    """Uniform random graph with exactly ``n`` nodes and ``m`` edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"cannot place {m} edges in a graph of {n} nodes")
+    rng = random.Random(seed)
+    graph = Graph(id_bits=id_bits_for(n))
+    for node in range(1, n + 1):
+        graph.add_node(node)
+    chosen: Set[Tuple[int, int]] = set()
+    while len(chosen) < m:
+        u = rng.randrange(1, n + 1)
+        v = rng.randrange(1, n + 1)
+        if u == v:
+            continue
+        chosen.add((min(u, v), max(u, v)))
+    return _finalize_weights(graph, sorted(chosen), rng, max_weight)
+
+
+def random_connected_graph(
+    n: int,
+    m: int,
+    seed: Optional[int] = None,
+    max_weight: Optional[int] = None,
+) -> Graph:
+    """A connected random graph: a random spanning tree plus random extra edges."""
+    if n >= 2 and m < n - 1:
+        raise GraphError(f"a connected graph on {n} nodes needs at least {n - 1} edges")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"cannot place {m} edges in a graph of {n} nodes")
+    rng = random.Random(seed)
+    graph = Graph(id_bits=id_bits_for(n))
+    for node in range(1, n + 1):
+        graph.add_node(node)
+
+    # Random spanning tree via a random permutation (each new node attaches
+    # to a uniformly random earlier node) — a simple recursive-tree model.
+    order = list(range(1, n + 1))
+    rng.shuffle(order)
+    chosen: Set[Tuple[int, int]] = set()
+    for index in range(1, n):
+        parent = order[rng.randrange(index)]
+        child = order[index]
+        chosen.add((min(parent, child), max(parent, child)))
+
+    while len(chosen) < m:
+        u = rng.randrange(1, n + 1)
+        v = rng.randrange(1, n + 1)
+        if u == v:
+            continue
+        chosen.add((min(u, v), max(u, v)))
+    return _finalize_weights(graph, sorted(chosen), rng, max_weight)
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    seed: Optional[int] = None,
+    max_weight: Optional[int] = None,
+) -> Graph:
+    """Random geometric graph on the unit square (a wireless-network stand-in)."""
+    rng = random.Random(seed)
+    graph = Graph(id_bits=id_bits_for(n))
+    positions = {}
+    for node in range(1, n + 1):
+        graph.add_node(node)
+        positions[node] = (rng.random(), rng.random())
+    edges = []
+    for u in range(1, n + 1):
+        for v in range(u + 1, n + 1):
+            dx = positions[u][0] - positions[v][0]
+            dy = positions[u][1] - positions[v][1]
+            if math.hypot(dx, dy) <= radius:
+                edges.append((u, v))
+    return _finalize_weights(graph, edges, rng, max_weight)
+
+
+def random_spanning_tree_forest(
+    graph: Graph, seed: Optional[int] = None
+) -> SpanningForest:
+    """A uniform-ish random spanning forest of ``graph`` (for repair tests).
+
+    Runs a randomized DFS per connected component and marks the discovered
+    tree edges.  The result spans every component but is generally *not* the
+    MST, which is what the FindMin / FindAny unit tests want (an arbitrary
+    maintained tree with a rich set of outgoing non-tree edges).
+    """
+    rng = random.Random(seed)
+    forest = SpanningForest(graph)
+    visited: Set[int] = set()
+    for start in graph.nodes():
+        if start in visited:
+            continue
+        visited.add(start)
+        stack = [start]
+        while stack:
+            node = stack[-1]
+            candidates = [nbr for nbr in graph.neighbors(node) if nbr not in visited]
+            if not candidates:
+                stack.pop()
+                continue
+            nxt = candidates[rng.randrange(len(candidates))]
+            visited.add(nxt)
+            forest.mark(node, nxt)
+            stack.append(nxt)
+    return forest

@@ -1,0 +1,64 @@
+"""Weight-assignment schemes.
+
+The paper assumes distinct edge weights (achieved by augmenting weights with
+edge numbers), but benchmarks also want control over the *raw* weights:
+uniform random weights with collisions (stress-testing the augmentation),
+permutation weights (all distinct), and adversarial assignments that force
+FindMin's range search to narrow as slowly as possible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..network.graph import Graph
+
+__all__ = [
+    "assign_uniform_weights",
+    "assign_permutation_weights",
+    "assign_adversarial_weights",
+]
+
+
+def assign_uniform_weights(
+    graph: Graph, max_weight: int, seed: Optional[int] = None
+) -> Graph:
+    """Give every edge an independent uniform weight in ``[1, max_weight]``."""
+    rng = random.Random(seed)
+    for edge in graph.edges():
+        graph.set_weight(edge.u, edge.v, rng.randint(1, max_weight))
+    return graph
+
+
+def assign_permutation_weights(graph: Graph, seed: Optional[int] = None) -> Graph:
+    """Give the ``m`` edges the weights ``1..m`` in a random order (all distinct)."""
+    rng = random.Random(seed)
+    edges = graph.edges()
+    weights = list(range(1, len(edges) + 1))
+    rng.shuffle(weights)
+    for edge, weight in zip(edges, weights):
+        graph.set_weight(edge.u, edge.v, weight)
+    return graph
+
+
+def assign_adversarial_weights(
+    graph: Graph, spread_bits: int = 40, seed: Optional[int] = None
+) -> Graph:
+    """Exponentially spread weights: weight of the i-th edge ≈ ``2^{i·spread/m}``.
+
+    A wide, highly non-uniform weight range makes the binary/``w``-ary search
+    of FindMin traverse as many scales as possible, and (with a large
+    ``spread_bits``) exercises the superpolynomial-weight code path.
+    """
+    rng = random.Random(seed)
+    edges = graph.edges()
+    order = list(range(len(edges)))
+    rng.shuffle(order)
+    m = max(len(edges), 1)
+    for rank, index in enumerate(order):
+        exponent = (rank * spread_bits) // m
+        weight = (1 << exponent) + rng.randrange(1 << max(exponent - 1, 1))
+        edge = edges[index]
+        graph.set_weight(edge.u, edge.v, weight)
+    return graph

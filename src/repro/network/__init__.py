@@ -1,0 +1,76 @@
+"""CONGEST-model network substrate: graphs, simulators, broadcast-and-echo.
+
+This subpackage provides everything the paper assumes about the execution
+environment: a weighted communications graph with KT1 knowledge, synchronous
+and asynchronous message-passing engines with exact message/bit/round
+accounting, the maintained spanning-forest ("properly marked") state, the
+broadcast-and-echo primitive, and tree leader election / cycle detection.
+"""
+
+from .accounting import CostDelta, CostSnapshot, MessageAccountant, PhaseRecord
+from .async_simulator import AsynchronousSimulator
+from .broadcast import (
+    BroadcastEchoExecutor,
+    BroadcastEchoProtocolNode,
+    TreeStructure,
+    build_tree_structure,
+    run_reference_broadcast_echo,
+)
+from .errors import (
+    AccountingError,
+    AlgorithmError,
+    ForestError,
+    GraphError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from .fragments import SpanningForest
+from .graph import Edge, Graph, edge_key
+from .leader_election import ElectionResult, detect_cycle, elect_leader
+from .message import Message, message_bits_for_value
+from .node import ProtocolNode
+from .scheduler import (
+    EdgeDelayScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+from .sync_simulator import SynchronousSimulator
+
+__all__ = [
+    "AccountingError",
+    "AlgorithmError",
+    "AsynchronousSimulator",
+    "BroadcastEchoExecutor",
+    "BroadcastEchoProtocolNode",
+    "CostDelta",
+    "CostSnapshot",
+    "Edge",
+    "EdgeDelayScheduler",
+    "ElectionResult",
+    "FifoScheduler",
+    "ForestError",
+    "Graph",
+    "GraphError",
+    "LifoScheduler",
+    "Message",
+    "MessageAccountant",
+    "PhaseRecord",
+    "ProtocolError",
+    "ProtocolNode",
+    "RandomScheduler",
+    "ReproError",
+    "Scheduler",
+    "SimulationError",
+    "SpanningForest",
+    "SynchronousSimulator",
+    "TreeStructure",
+    "build_tree_structure",
+    "detect_cycle",
+    "edge_key",
+    "elect_leader",
+    "message_bits_for_value",
+    "run_reference_broadcast_echo",
+]

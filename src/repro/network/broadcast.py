@@ -1,0 +1,368 @@
+"""Broadcast-and-echo: the paper's basic communication step.
+
+The paper (Section 1) builds every algorithm out of a single primitive, a
+broadcast from a root node ``x`` over the maintained tree followed by an echo
+that aggregates values from the leaves back up to ``x``.  Two realisations
+are provided:
+
+* :class:`BroadcastEchoExecutor` — the *fast path* used by all algorithms in
+  :mod:`repro.core`.  It walks the tree structure directly and charges the
+  accountant exactly the messages a per-node execution would send: one
+  broadcast message and one echo message per tree edge, with the declared bit
+  widths, and ``2 × eccentricity(root)`` rounds.  Local computation is
+  restricted to the node-local callback it is given (a node sees only its own
+  ID, its incident edges and the broadcast payload), so the distributed
+  semantics are preserved even though the execution is centralised.
+
+* :class:`BroadcastEchoProtocolNode` — a genuine per-node protocol for the
+  message-level engines.  Tests run the same aggregation through both paths
+  and assert that message counts, bit counts and results agree
+  (``tests/network/test_broadcast.py``); this is what justifies using the
+  fast path for the large benchmark runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .accounting import MessageAccountant
+from .errors import ProtocolError, SimulationError
+from .fragments import SpanningForest
+from .graph import Graph
+from .message import Message
+from .node import ProtocolNode
+
+__all__ = [
+    "TreeStructure",
+    "build_tree_structure",
+    "BroadcastEchoExecutor",
+    "BroadcastEchoProtocolNode",
+    "run_reference_broadcast_echo",
+]
+
+# A node-local value callback: (node_id) -> value.  The callback must only use
+# information local to the node (its incident edges / the broadcast payload);
+# algorithms in repro.core honour this contract.
+LocalValueFn = Callable[[int], Any]
+# Combine a node's local value with the already-combined values of its
+# children; must be associative in the children argument.
+CombineFn = Callable[[Any, Sequence[Any]], Any]
+
+
+class TreeStructure:
+    """Rooted view of one maintained tree: parents, children, depths."""
+
+    def __init__(
+        self,
+        root: int,
+        parent: Dict[int, Optional[int]],
+        children: Dict[int, List[int]],
+        depth: Dict[int, int],
+    ) -> None:
+        self.root = root
+        self.parent = parent
+        self.children = children
+        self.depth = depth
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self.parent)
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    @property
+    def num_edges(self) -> int:
+        return self.size - 1
+
+    @property
+    def eccentricity(self) -> int:
+        """Depth of the deepest node (the root's eccentricity in the tree)."""
+        return max(self.depth.values(), default=0)
+
+    def postorder(self) -> List[int]:
+        """Nodes in post-order (children before parents), deterministic."""
+        order: List[int] = []
+        stack: List[Tuple[int, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            stack.append((node, True))
+            for child in reversed(self.children[node]):
+                stack.append((child, False))
+        return order
+
+    def path_from_root(self, node: int) -> List[int]:
+        """The tree path root -> ... -> node."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+
+def build_tree_structure(forest: SpanningForest, root: int) -> TreeStructure:
+    """Root the maintained tree ``T_root`` at ``root`` via BFS over marked edges."""
+    if not forest.graph.has_node(root):
+        raise ProtocolError(f"root {root} is not a node of the graph")
+    parent: Dict[int, Optional[int]] = {root: None}
+    children: Dict[int, List[int]] = {root: []}
+    depth: Dict[int, int] = {root: 0}
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for nbr in forest.marked_neighbors(node):
+            if nbr in parent:
+                continue
+            parent[nbr] = node
+            children[nbr] = []
+            children[node].append(nbr)
+            depth[nbr] = depth[node] + 1
+            queue.append(nbr)
+    return TreeStructure(root, parent, children, depth)
+
+
+class BroadcastEchoExecutor:
+    """Fast-path broadcast-and-echo with exact CONGEST accounting."""
+
+    def __init__(self, graph: Graph, forest: SpanningForest, accountant: MessageAccountant):
+        self.graph = graph
+        self.forest = forest
+        self.accountant = accountant
+
+    # ------------------------------------------------------------------ #
+    # primitives
+    # ------------------------------------------------------------------ #
+    def broadcast_and_echo(
+        self,
+        root: int,
+        local_value: LocalValueFn,
+        combine: CombineFn,
+        broadcast_bits: int,
+        echo_bits: int,
+        tree: Optional[TreeStructure] = None,
+        kind: str = "b&e",
+    ) -> Any:
+        """One broadcast-and-echo rooted at ``root``; returns the aggregate.
+
+        Charges ``num_edges`` broadcast messages of ``broadcast_bits`` bits,
+        ``num_edges`` echo messages of ``echo_bits`` bits, and
+        ``2 × eccentricity`` rounds (the paper's time for one B&E).
+        """
+        structure = tree if tree is not None else build_tree_structure(self.forest, root)
+        self._charge(structure, broadcast_bits, echo_bits, kind)
+        values: Dict[int, Any] = {}
+        for node in structure.postorder():
+            child_values = [values[child] for child in structure.children[node]]
+            values[node] = combine(local_value(node), child_values)
+        return values[structure.root]
+
+    def broadcast_only(
+        self,
+        root: int,
+        broadcast_bits: int,
+        tree: Optional[TreeStructure] = None,
+        kind: str = "bcast",
+    ) -> TreeStructure:
+        """A broadcast with no echo (e.g. "stop", "add edge", leader announce)."""
+        structure = tree if tree is not None else build_tree_structure(self.forest, root)
+        self.accountant.record_messages(structure.num_edges, broadcast_bits, kind=kind)
+        self.accountant.record_rounds(structure.eccentricity)
+        return structure
+
+    def broadcast_with_downward_state(
+        self,
+        root: int,
+        initial_state: Any,
+        propagate: Callable[[Any, int, int], Any],
+        broadcast_bits: int,
+        echo_bits: int,
+        collect: Callable[[int, Any], Any],
+        combine: CombineFn,
+        tree: Optional[TreeStructure] = None,
+        kind: str = "b&e",
+    ) -> Any:
+        """Broadcast-and-echo where the broadcast carries state down the tree.
+
+        ``propagate(parent_state, parent, child)`` computes the state handed
+        to ``child`` when the broadcast crosses the tree edge
+        ``(parent, child)`` — e.g. the maximum edge weight seen on the path
+        from the root, used by ``Insert`` (Section 3.2).  ``collect(node,
+        state)`` produces the node's local echo value, which is aggregated
+        with ``combine`` as usual.
+        """
+        structure = tree if tree is not None else build_tree_structure(self.forest, root)
+        self._charge(structure, broadcast_bits, echo_bits, kind)
+        state: Dict[int, Any] = {structure.root: initial_state}
+        for node in structure.postorder()[::-1]:  # pre-order (parents first)
+            for child in structure.children[node]:
+                state[child] = propagate(state[node], node, child)
+        values: Dict[int, Any] = {}
+        for node in structure.postorder():
+            child_values = [values[child] for child in structure.children[node]]
+            values[node] = combine(collect(node, state[node]), child_values)
+        return values[structure.root]
+
+    def point_to_point_along_edge(self, u: int, v: int, size_bits: int, kind: str = "p2p") -> None:
+        """Charge a single message over the (graph) edge ``{u, v}``."""
+        if not self.graph.has_edge(u, v):
+            raise ProtocolError(f"no edge ({u}, {v}) to send along")
+        self.accountant.record_message(size_bits, kind=kind)
+        self.accountant.record_rounds(1)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _charge(
+        self, structure: TreeStructure, broadcast_bits: int, echo_bits: int, kind: str
+    ) -> None:
+        self.accountant.record_broadcast_echo()
+        edges = structure.num_edges
+        self.accountant.record_messages(edges, broadcast_bits, kind=f"{kind}:bcast")
+        self.accountant.record_messages(edges, echo_bits, kind=f"{kind}:echo")
+        self.accountant.record_rounds(2 * structure.eccentricity)
+
+
+# ---------------------------------------------------------------------- #
+# Reference per-node protocol
+# ---------------------------------------------------------------------- #
+class BroadcastEchoProtocolNode(ProtocolNode):
+    """Message-level broadcast-and-echo node (reference implementation).
+
+    Every node knows its tree neighbours (its marked incident edges).  The
+    designated root starts the broadcast in ``on_start``.  A node receiving
+    the broadcast designates the sender as its parent and forwards to its
+    other tree neighbours; leaves echo immediately; an internal node echoes
+    once it has heard from all children, combining its local value with
+    theirs.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: Dict[int, int],
+        tree_neighbors: List[int],
+        is_root: bool,
+        local_value: Any,
+        combine: CombineFn,
+        broadcast_bits: int,
+        echo_bits: int,
+    ) -> None:
+        super().__init__(node_id, neighbors)
+        self.tree_neighbors = list(tree_neighbors)
+        self.is_root = is_root
+        self.local_value = local_value
+        self.combine = combine
+        self.broadcast_bits = broadcast_bits
+        self.echo_bits = echo_bits
+        self.parent: Optional[int] = None
+        self.pending_children: Set[int] = set()
+        self.child_values: List[Any] = []
+        self.result: Any = None
+        self.done = False
+
+    def on_start(self) -> None:
+        if self.is_root:
+            self.pending_children = set(self.tree_neighbors)
+            if not self.pending_children:
+                self.result = self.combine(self.local_value, [])
+                self.done = True
+                self.halt()
+                return
+            for nbr in self.tree_neighbors:
+                self.send(nbr, "BCAST", size_bits=self.broadcast_bits)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "BCAST":
+            self._handle_broadcast(message.sender)
+        elif message.kind == "ECHO":
+            self._handle_echo(message.sender, message.payload)
+        else:
+            raise ProtocolError(f"unexpected message kind {message.kind!r}")
+
+    def _handle_broadcast(self, sender: int) -> None:
+        if self.parent is not None or self.is_root:
+            raise ProtocolError(
+                f"node {self.node_id} received a second broadcast (not a tree?)"
+            )
+        self.parent = sender
+        self.pending_children = set(self.tree_neighbors) - {sender}
+        if not self.pending_children:
+            value = self.combine(self.local_value, [])
+            self.send(sender, "ECHO", payload=value, size_bits=self.echo_bits)
+            self.done = True
+            self.halt()
+            return
+        for nbr in sorted(self.pending_children):
+            self.send(nbr, "BCAST", size_bits=self.broadcast_bits)
+
+    def _handle_echo(self, sender: int, value: Any) -> None:
+        if sender not in self.pending_children:
+            raise ProtocolError(
+                f"node {self.node_id} received an unexpected echo from {sender}"
+            )
+        self.pending_children.discard(sender)
+        self.child_values.append(value)
+        if self.pending_children:
+            return
+        combined = self.combine(self.local_value, self.child_values)
+        if self.is_root:
+            self.result = combined
+        else:
+            assert self.parent is not None
+            self.send(self.parent, "ECHO", payload=combined, size_bits=self.echo_bits)
+        self.done = True
+        self.halt()
+
+
+def run_reference_broadcast_echo(
+    graph: Graph,
+    forest: SpanningForest,
+    root: int,
+    local_values: Dict[int, Any],
+    combine: CombineFn,
+    broadcast_bits: int,
+    echo_bits: int,
+    engine: str = "sync",
+    scheduler=None,
+) -> Tuple[Any, MessageAccountant]:
+    """Run the per-node reference protocol and return (root value, accountant).
+
+    ``engine`` is ``"sync"`` or ``"async"``.  Only the nodes of ``root``'s
+    component participate actively, but every node of the graph gets a
+    (possibly idle) protocol instance as both engines require full coverage.
+    """
+    from .async_simulator import AsynchronousSimulator
+    from .sync_simulator import SynchronousSimulator
+
+    component = forest.component_of(root)
+    nodes = []
+    for node_id in graph.nodes():
+        neighbors = {nbr: graph.get_edge(node_id, nbr).weight for nbr in graph.neighbors(node_id)}
+        tree_neighbors = forest.marked_neighbors(node_id) if node_id in component else []
+        nodes.append(
+            BroadcastEchoProtocolNode(
+                node_id=node_id,
+                neighbors=neighbors,
+                tree_neighbors=tree_neighbors,
+                is_root=(node_id == root),
+                local_value=local_values.get(node_id),
+                combine=combine,
+                broadcast_bits=broadcast_bits,
+                echo_bits=echo_bits,
+            )
+        )
+    if engine == "sync":
+        sim: Any = SynchronousSimulator(graph)
+    elif engine == "async":
+        sim = AsynchronousSimulator(graph, scheduler=scheduler)
+    else:
+        raise SimulationError(f"unknown engine {engine!r}")
+    sim.register_all(nodes)
+    sim.run()
+    root_node = sim.nodes[root]
+    return root_node.result, sim.accountant

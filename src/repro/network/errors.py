@@ -1,0 +1,37 @@
+"""Exception types used across the CONGEST simulator and the algorithms.
+
+Keeping a small, explicit hierarchy lets callers distinguish programming
+errors (e.g. asking for a broadcast over a disconnected "tree") from the
+expected stochastic outcomes of the Monte Carlo procedures (which are *not*
+exceptions: they are returned as values, see :mod:`repro.core.findmin`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class GraphError(ReproError):
+    """Raised on malformed graph operations (duplicate edges, unknown nodes...)."""
+
+
+class ForestError(ReproError):
+    """Raised when a marked-edge set violates the spanning-forest invariants."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation engine is driven incorrectly."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a per-node protocol reaches an inconsistent state."""
+
+
+class AccountingError(ReproError):
+    """Raised on misuse of the message/round accounting objects."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm is invoked with invalid parameters."""

@@ -1,0 +1,203 @@
+"""Leader election on a tree fragment, and the cycle detection it doubles as.
+
+Section 3.3 of the paper elects a fragment leader with a saturation-style
+algorithm (echoes started by the leaves, as in Korach–Rotem–Santoro [18]):
+
+* every leaf "acts as if it has just received a broadcast" and sends an echo
+  to its only tree neighbour;
+* an internal node that has received echoes from all but one of its tree
+  neighbours sends an echo to that last neighbour;
+* the echoes converge either on a single node (one median), which becomes the
+  leader, or on two neighbouring nodes that send to each other, in which case
+  the one with the higher ID becomes the leader.
+
+Message cost: every node except a single-median leader sends exactly one
+echo, so a fragment of ``s`` nodes uses ``s - 1`` messages (one median) or
+``s`` messages (two medians); announcing the leader back to the fragment is
+one broadcast of ``s - 1`` messages.
+
+Section 4.2 reuses the same process for *cycle detection* in Build-ST: if the
+marked component contains a cycle, the saturation stalls and the nodes on the
+cycle are exactly those that never hear from all-but-one of their neighbours.
+:func:`detect_cycle` reports them (and the messages spent by the stalled
+saturation are still charged).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .accounting import MessageAccountant
+from .errors import ForestError
+from .fragments import SpanningForest
+from .graph import edge_key
+from .message import message_bits_for_value
+
+__all__ = ["ElectionResult", "elect_leader", "detect_cycle"]
+
+
+class ElectionResult:
+    """Outcome of a leader election / cycle detection pass on one component."""
+
+    def __init__(
+        self,
+        leader: Optional[int],
+        cycle_nodes: List[int],
+        messages: int,
+        rounds: int,
+    ) -> None:
+        self.leader = leader
+        self.cycle_nodes = cycle_nodes
+        self.messages = messages
+        self.rounds = rounds
+
+    @property
+    def has_cycle(self) -> bool:
+        return bool(self.cycle_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ElectionResult(leader={self.leader}, cycle={self.cycle_nodes}, "
+            f"messages={self.messages}, rounds={self.rounds})"
+        )
+
+
+def _saturation(
+    adjacency: Dict[int, Set[int]],
+) -> Tuple[Optional[int], List[int], int, int]:
+    """Simulate leaf-initiated saturation on the (possibly cyclic) subgraph.
+
+    Returns ``(leader, cycle_nodes, messages, rounds)``.  The simulation
+    processes nodes level by level exactly as the distributed execution
+    would: in each round, every node that has heard from all but one
+    neighbour (and has not sent yet) sends to that neighbour.
+    """
+    if len(adjacency) == 1:
+        only = next(iter(adjacency))
+        return only, [], 0, 0
+
+    pending: Dict[int, Set[int]] = {node: set(nbrs) for node, nbrs in adjacency.items()}
+    sent: Set[int] = set()
+    received_all: Dict[int, Set[int]] = {node: set() for node in adjacency}
+    messages = 0
+    rounds = 0
+    meeting_pairs: List[Tuple[int, int]] = []
+
+    while True:
+        # Nodes ready to send: have not sent, and exactly one neighbour has
+        # not yet echoed to them.
+        senders = [
+            node
+            for node in sorted(adjacency)
+            if node not in sent and len(pending[node] - received_all[node]) == 1
+        ]
+        if not senders:
+            break
+        rounds += 1
+        deliveries: List[Tuple[int, int]] = []
+        for node in senders:
+            target = next(iter(pending[node] - received_all[node]))
+            deliveries.append((node, target))
+            sent.add(node)
+            messages += 1
+        for sender, target in deliveries:
+            received_all[target].add(sender)
+            if sender in received_all and target in received_all[sender] and target in sent:
+                meeting_pairs.append(tuple(sorted((sender, target))))  # type: ignore[arg-type]
+
+    # Nodes that heard from every neighbour without sending are single medians.
+    full_receivers = [
+        node for node in sorted(adjacency) if received_all[node] == pending[node]
+    ]
+    single_medians = [node for node in full_receivers if node not in sent]
+
+    if single_medians:
+        return single_medians[0], [], messages, rounds
+    if meeting_pairs:
+        pair = sorted(set(meeting_pairs))[0]
+        return max(pair), [], messages, rounds
+
+    # Saturation stalled: the nodes that never became ready form the 2-core,
+    # i.e. the cycle (plus anything hanging between cycles, impossible here
+    # since at most one cycle can exist per Build-ST phase component).
+    stuck = sorted(node for node in adjacency if node not in sent and node not in single_medians)
+    return None, stuck, messages, rounds
+
+
+def elect_leader(
+    forest: SpanningForest,
+    component: Iterable[int],
+    accountant: Optional[MessageAccountant] = None,
+    announce: bool = True,
+) -> ElectionResult:
+    """Elect a leader in the maintained tree spanning ``component``.
+
+    Raises :class:`ForestError` if the component's marked subgraph is not a
+    tree (use :func:`detect_cycle` when cycles are expected).  When
+    ``announce`` is true, the cost of broadcasting the leader's identity to
+    the fragment is charged as well.
+    """
+    nodes = sorted(set(component))
+    adjacency = {
+        node: set(nbrs) for node, nbrs in forest.tree_adjacency(nodes).items()
+    }
+    num_edges = sum(len(nbrs) for nbrs in adjacency.values()) // 2
+    if num_edges != len(nodes) - 1:
+        raise ForestError(
+            "leader election requires a tree; use detect_cycle for cyclic components"
+        )
+    leader, cycle, messages, rounds = _saturation(adjacency)
+    assert leader is not None and not cycle
+    announce_messages = 0
+    announce_rounds = 0
+    if announce and len(nodes) > 1:
+        announce_messages = len(nodes) - 1
+        announce_rounds = _eccentricity(adjacency, leader)
+    total_messages = messages + announce_messages
+    total_rounds = rounds + announce_rounds
+    if accountant is not None:
+        id_bits = message_bits_for_value(max(nodes))
+        if messages:
+            accountant.record_messages(messages, id_bits, kind="election:echo")
+        if announce_messages:
+            accountant.record_messages(announce_messages, id_bits, kind="election:announce")
+        accountant.record_rounds(total_rounds)
+    return ElectionResult(leader, [], total_messages, total_rounds)
+
+
+def detect_cycle(
+    forest: SpanningForest,
+    component: Iterable[int],
+    accountant: Optional[MessageAccountant] = None,
+) -> ElectionResult:
+    """Run the saturation pass on a possibly-cyclic marked component.
+
+    Returns an :class:`ElectionResult` whose ``cycle_nodes`` is non-empty iff
+    the component's marked subgraph contains a cycle; in that case ``leader``
+    is ``None``.  The messages spent by the stalled saturation are charged.
+    """
+    nodes = sorted(set(component))
+    adjacency = {
+        node: set(nbrs) for node, nbrs in forest.tree_adjacency(nodes).items()
+    }
+    leader, cycle, messages, rounds = _saturation(adjacency)
+    if accountant is not None and nodes:
+        id_bits = message_bits_for_value(max(nodes))
+        if messages:
+            accountant.record_messages(messages, id_bits, kind="election:echo")
+        accountant.record_rounds(rounds)
+    return ElectionResult(leader, cycle, messages, rounds)
+
+
+def _eccentricity(adjacency: Dict[int, Set[int]], source: int) -> int:
+    """BFS eccentricity of ``source`` in the adjacency map."""
+    depth = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nbr in adjacency[node]:
+            if nbr not in depth:
+                depth[nbr] = depth[node] + 1
+                queue.append(nbr)
+    return max(depth.values(), default=0)

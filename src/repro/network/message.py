@@ -1,0 +1,67 @@
+"""Messages exchanged in the CONGEST simulator.
+
+In the CONGEST model a message carries ``O(log(n + u))`` bits.  Every message
+sent through either simulation engine is an instance of :class:`Message` and
+declares its size in bits, so that the accounting layer can report both
+message counts and total bits.  The bit size is *declared* rather than derived
+from the Python payload: the payload is a convenience for the simulation
+(hash-function seeds are passed as objects, for example), while ``size_bits``
+records what the real protocol would put on the wire — the paper is explicit
+about those widths (e.g. the echo of ``TestOut`` is a single bit, Lemma 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message", "message_bits_for_value"]
+
+_SEQUENCE = itertools.count()
+
+
+def message_bits_for_value(value: int) -> int:
+    """Number of bits needed to transmit the non-negative integer ``value``."""
+    if value < 0:
+        raise ValueError("message values must be non-negative integers")
+    return max(1, int(value).bit_length())
+
+
+@dataclass
+class Message:
+    """A single CONGEST message travelling over one edge.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Node IDs of the endpoints of the edge the message traverses.
+    kind:
+        A short protocol-specific tag (e.g. ``"BCAST"``, ``"ECHO"``,
+        ``"TEST"``); used by per-node protocol handlers to dispatch.
+    payload:
+        Arbitrary simulation payload.  Not used for accounting.
+    size_bits:
+        The number of bits this message would occupy on the wire.
+    send_time:
+        Simulation time (round number or event time) at which it was sent;
+        filled in by the engines.
+    """
+
+    sender: int
+    receiver: int
+    kind: str
+    payload: Any = None
+    size_bits: int = 1
+    send_time: Optional[float] = None
+    sequence: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    def __post_init__(self) -> None:
+        if self.size_bits < 1:
+            raise ValueError("every message carries at least one bit")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Message({self.sender}->{self.receiver}, kind={self.kind!r}, "
+            f"bits={self.size_bits})"
+        )

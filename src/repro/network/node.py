@@ -1,0 +1,121 @@
+"""Per-node protocol interface for the message-level simulation engines.
+
+The KKT algorithms themselves are executed through the fragment-level
+broadcast-and-echo executor (see :mod:`repro.network.broadcast`), but several
+components are genuine per-node protocols running on the simulators:
+
+* the reference broadcast-and-echo protocol used to validate the executor's
+  message accounting,
+* the flooding spanning-tree baseline,
+* the schedule-independence tests for asynchronous repair.
+
+A protocol node subclasses :class:`ProtocolNode` and implements ``on_start``
+(called once when the simulation begins) and ``on_message`` (called for each
+delivered message).  Nodes send messages exclusively through
+:meth:`ProtocolNode.send`, which routes them into the owning engine so that
+they are delivered according to the engine's semantics and charged to the
+accountant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from .errors import ProtocolError
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sync_simulator import SynchronousSimulator
+    from .async_simulator import AsynchronousSimulator
+
+__all__ = ["ProtocolNode"]
+
+
+class ProtocolNode:
+    """Base class for per-node protocol logic.
+
+    Attributes
+    ----------
+    node_id:
+        The node's unique identifier.
+    neighbors:
+        Mapping neighbour ID -> edge weight: the KT1 local knowledge.
+    """
+
+    def __init__(self, node_id: int, neighbors: Dict[int, int]) -> None:
+        self.node_id = node_id
+        self.neighbors = dict(neighbors)
+        self._engine: Optional[Any] = None
+        self.halted = False
+
+    # ------------------------------------------------------------------ #
+    # engine wiring
+    # ------------------------------------------------------------------ #
+    def attach(self, engine: Any) -> None:
+        """Called by an engine when the node is registered with it."""
+        if self._engine is not None and self._engine is not engine:
+            raise ProtocolError(
+                f"node {self.node_id} is already attached to another engine"
+            )
+        self._engine = engine
+
+    @property
+    def engine(self) -> Any:
+        if self._engine is None:
+            raise ProtocolError(f"node {self.node_id} is not attached to an engine")
+        return self._engine
+
+    # ------------------------------------------------------------------ #
+    # protocol hooks (override in subclasses)
+    # ------------------------------------------------------------------ #
+    def on_start(self) -> None:
+        """Called once, before any message is delivered."""
+
+    def on_message(self, message: Message) -> None:
+        """Called when ``message`` is delivered to this node."""
+        raise NotImplementedError
+
+    def on_round_begin(self, round_number: int) -> None:
+        """Synchronous engine only: called at the beginning of each round."""
+
+    # ------------------------------------------------------------------ #
+    # actions
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        receiver: int,
+        kind: str,
+        payload: Any = None,
+        size_bits: int = 1,
+    ) -> None:
+        """Send a message to a *neighbour* (CONGEST: only along edges)."""
+        if receiver not in self.neighbors:
+            raise ProtocolError(
+                f"node {self.node_id} has no edge to {receiver}; "
+                "CONGEST messages travel only along edges"
+            )
+        message = Message(
+            sender=self.node_id,
+            receiver=receiver,
+            kind=kind,
+            payload=payload,
+            size_bits=size_bits,
+        )
+        self.engine.submit(message)
+
+    def broadcast_to_neighbors(
+        self,
+        kind: str,
+        payload: Any = None,
+        size_bits: int = 1,
+        exclude: Optional[List[int]] = None,
+    ) -> None:
+        """Send the same message to every neighbour (except ``exclude``)."""
+        skip = set(exclude or [])
+        for neighbor in sorted(self.neighbors):
+            if neighbor not in skip:
+                self.send(neighbor, kind, payload, size_bits)
+
+    def halt(self) -> None:
+        """Mark this node as finished; engines may use this for termination."""
+        self.halted = True

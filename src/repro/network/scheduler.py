@@ -1,0 +1,160 @@
+"""Delivery schedulers for the asynchronous engine.
+
+The asynchronous CONGEST model only guarantees that every message is
+*eventually* delivered.  Correctness of the paper's repair algorithms must
+therefore not depend on delivery order.  The schedulers below let tests and
+benchmarks exercise a protocol under different adversaries:
+
+* :class:`FifoScheduler` — messages delivered in send order (the friendliest
+  schedule; equivalent to a synchronous execution for many protocols).
+* :class:`RandomScheduler` — each delivery picks a uniformly random pending
+  message (a common model of an oblivious adversary).
+* :class:`LifoScheduler` — always delivers the most recently sent message
+  first (a simple adaptive-looking adversary that tends to starve old
+  messages as long as new ones keep arriving).
+* :class:`EdgeDelayScheduler` — assigns each edge a fixed integer delay and
+  delivers in (send time + delay) order, modelling heterogeneous links.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .errors import SimulationError
+from .graph import edge_key
+from .message import Message
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "EdgeDelayScheduler",
+]
+
+
+class Scheduler:
+    """Interface: a queue of pending messages with a pluggable pop order."""
+
+    def push(self, message: Message) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Message:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def empty(self) -> bool:
+        return len(self) == 0
+
+
+class FifoScheduler(Scheduler):
+    """Deliver messages in the order they were submitted."""
+
+    def __init__(self) -> None:
+        self._queue: List[Message] = []
+        self._head = 0
+
+    def push(self, message: Message) -> None:
+        self._queue.append(message)
+
+    def pop(self) -> Message:
+        if self.empty():
+            raise SimulationError("no pending messages")
+        message = self._queue[self._head]
+        self._head += 1
+        if self._head > 1024 and self._head * 2 > len(self._queue):
+            # Compact occasionally so memory stays proportional to the backlog.
+            self._queue = self._queue[self._head:]
+            self._head = 0
+        return message
+
+    def __len__(self) -> int:
+        return len(self._queue) - self._head
+
+
+class LifoScheduler(Scheduler):
+    """Always deliver the most recently submitted message first."""
+
+    def __init__(self) -> None:
+        self._stack: List[Message] = []
+
+    def push(self, message: Message) -> None:
+        self._stack.append(message)
+
+    def pop(self) -> Message:
+        if not self._stack:
+            raise SimulationError("no pending messages")
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class RandomScheduler(Scheduler):
+    """Deliver a uniformly random pending message at each step."""
+
+    def __init__(self, rng: Optional[random.Random] = None, seed: Optional[int] = None):
+        if rng is not None and seed is not None:
+            raise SimulationError("pass either rng or seed, not both")
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._pending: List[Message] = []
+
+    def push(self, message: Message) -> None:
+        self._pending.append(message)
+
+    def pop(self) -> Message:
+        if not self._pending:
+            raise SimulationError("no pending messages")
+        index = self._rng.randrange(len(self._pending))
+        self._pending[index], self._pending[-1] = (
+            self._pending[-1],
+            self._pending[index],
+        )
+        return self._pending.pop()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class EdgeDelayScheduler(Scheduler):
+    """Deliver messages in order of (send sequence + fixed per-edge delay).
+
+    Per-edge delays model heterogeneous link latencies.  Unknown edges get
+    ``default_delay``.  Ties break on submission order so the schedule is
+    deterministic given the delays.
+    """
+
+    def __init__(
+        self,
+        delays: Optional[Dict[Tuple[int, int], int]] = None,
+        default_delay: int = 1,
+    ) -> None:
+        if default_delay < 0:
+            raise SimulationError("delays must be non-negative")
+        self._delays = {}
+        for (u, v), delay in (delays or {}).items():
+            if delay < 0:
+                raise SimulationError("delays must be non-negative")
+            self._delays[edge_key(u, v)] = delay
+        self._default_delay = default_delay
+        self._pending: List[Tuple[int, int, Message]] = []
+        self._counter = 0
+
+    def push(self, message: Message) -> None:
+        delay = self._delays.get(
+            edge_key(message.sender, message.receiver), self._default_delay
+        )
+        self._pending.append((self._counter + delay, self._counter, message))
+        self._counter += 1
+
+    def pop(self) -> Message:
+        if not self._pending:
+            raise SimulationError("no pending messages")
+        index = min(range(len(self._pending)), key=lambda i: self._pending[i][:2])
+        return self._pending.pop(index)[2]
+
+    def __len__(self) -> int:
+        return len(self._pending)

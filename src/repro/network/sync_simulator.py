@@ -1,0 +1,156 @@
+"""Synchronous round-based CONGEST engine.
+
+All nodes share a global clock.  In each round every node may send one
+message to each of its neighbours; all messages sent in round ``r`` are
+delivered at the beginning of round ``r + 1``.  This is exactly the model of
+Theorem 1.1 (synchronous construction, all nodes start in the same round).
+
+The engine is used directly for the message-level protocols (flooding,
+reference broadcast-and-echo) and in tests that validate the fragment-level
+executor's accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from .accounting import MessageAccountant
+from .errors import SimulationError
+from .graph import Graph
+from .message import Message
+from .node import ProtocolNode
+
+__all__ = ["SynchronousSimulator"]
+
+
+class SynchronousSimulator:
+    """Round-based engine for per-node protocols.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.  Node protocols may only send along its edges.
+    accountant:
+        Message accountant; a fresh one is created when omitted.
+    max_rounds:
+        Safety valve against non-terminating protocols.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        accountant: Optional[MessageAccountant] = None,
+        max_rounds: int = 1_000_000,
+    ) -> None:
+        self.graph = graph
+        self.accountant = accountant if accountant is not None else MessageAccountant()
+        self.max_rounds = max_rounds
+        self._nodes: Dict[int, ProtocolNode] = {}
+        self._outbox: List[Message] = []
+        self._round = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+    def register(self, node: ProtocolNode) -> None:
+        """Register a protocol node; its ID must exist in the graph."""
+        if not self.graph.has_node(node.node_id):
+            raise SimulationError(f"node {node.node_id} is not in the graph")
+        if node.node_id in self._nodes:
+            raise SimulationError(f"node {node.node_id} registered twice")
+        node.attach(self)
+        self._nodes[node.node_id] = node
+
+    def register_all(self, nodes: Iterable[ProtocolNode]) -> None:
+        for node in nodes:
+            self.register(node)
+
+    @property
+    def nodes(self) -> Dict[int, ProtocolNode]:
+        return dict(self._nodes)
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    # ------------------------------------------------------------------ #
+    # engine interface used by ProtocolNode.send
+    # ------------------------------------------------------------------ #
+    def submit(self, message: Message) -> None:
+        if message.receiver not in self._nodes:
+            raise SimulationError(
+                f"message addressed to unregistered node {message.receiver}"
+            )
+        if not self.graph.has_edge(message.sender, message.receiver):
+            raise SimulationError(
+                f"no edge ({message.sender}, {message.receiver}) in the graph"
+            )
+        message.send_time = self._round
+        self._outbox.append(message)
+        self.accountant.record_message(message.size_bits, kind=message.kind)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Call every node's ``on_start`` (round 0 sends happen here)."""
+        if self._started:
+            raise SimulationError("simulation already started")
+        if set(self._nodes) != set(self.graph.nodes()):
+            missing = set(self.graph.nodes()) - set(self._nodes)
+            raise SimulationError(f"nodes without a protocol: {sorted(missing)}")
+        self._started = True
+        for node_id in sorted(self._nodes):
+            self._nodes[node_id].on_start()
+
+    def step(self) -> int:
+        """Run one round: deliver last round's messages.  Returns #delivered."""
+        if not self._started:
+            raise SimulationError("call start() before step()")
+        deliveries = self._outbox
+        self._outbox = []
+        self._round += 1
+        self.accountant.record_rounds(1)
+
+        per_node: Dict[int, List[Message]] = defaultdict(list)
+        for message in deliveries:
+            per_node[message.receiver].append(message)
+
+        for node_id in sorted(self._nodes):
+            self._nodes[node_id].on_round_begin(self._round)
+        for node_id in sorted(per_node):
+            node = self._nodes[node_id]
+            for message in per_node[node_id]:
+                node.on_message(message)
+        return len(deliveries)
+
+    def run(self, until_quiescent: bool = True, rounds: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        With ``until_quiescent`` (the default) rounds are executed until no
+        message is in flight; otherwise exactly ``rounds`` rounds are run.
+        Returns the number of rounds executed.
+        """
+        if not self._started:
+            self.start()
+        executed = 0
+        if rounds is not None:
+            for _ in range(rounds):
+                self.step()
+                executed += 1
+            return executed
+        if not until_quiescent:
+            raise SimulationError("specify rounds= when until_quiescent is False")
+        while self._outbox:
+            if executed >= self.max_rounds:
+                raise SimulationError(
+                    f"protocol did not quiesce within {self.max_rounds} rounds"
+                )
+            self.step()
+            executed += 1
+        return executed
+
+    def all_halted(self) -> bool:
+        return all(node.halted for node in self._nodes.values())

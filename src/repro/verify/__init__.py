@@ -1,0 +1,33 @@
+"""Correctness verifiers for maintained trees and forests."""
+
+from .certificates import (
+    check_mst_certificates,
+    has_valid_mst_certificates,
+    tree_path,
+    violating_non_tree_edges,
+    violating_tree_edges,
+)
+from .forest_check import (
+    check_properly_marked,
+    check_spanning_forest,
+    is_spanning_forest,
+)
+from .mst_check import (
+    check_minimum_spanning_forest,
+    is_minimum_spanning_forest,
+    mst_difference,
+)
+
+__all__ = [
+    "check_minimum_spanning_forest",
+    "check_mst_certificates",
+    "check_properly_marked",
+    "check_spanning_forest",
+    "has_valid_mst_certificates",
+    "is_minimum_spanning_forest",
+    "is_spanning_forest",
+    "mst_difference",
+    "tree_path",
+    "violating_non_tree_edges",
+    "violating_tree_edges",
+]

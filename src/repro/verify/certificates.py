@@ -1,0 +1,141 @@
+"""Certificate-based MST verification (cut and cycle properties).
+
+:mod:`repro.verify.mst_check` verifies a constructed tree by recomputing the
+MST with Kruskal and comparing edge sets.  This module provides the
+*certificate* route instead: a spanning forest is the minimum one iff
+
+* **cycle property** — every non-tree edge is the (unique) heaviest edge on
+  the cycle it closes with the tree, equivalently heavier than every tree
+  edge on the tree path between its endpoints; and
+* **cut property** — every tree edge is the (unique) lightest edge across the
+  cut obtained by removing it from its tree.
+
+Checking the certificates does not rely on any other MST algorithm being
+correct, so the test suite can use it to cross-validate both the distributed
+constructions and the sequential baselines against each other.  The
+implementation is deliberately straightforward (O(n·m) worst case) — it is a
+verifier, not a competitor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..network.errors import ForestError
+from ..network.fragments import SpanningForest
+from ..network.graph import Edge, Graph
+from .forest_check import check_spanning_forest
+
+__all__ = [
+    "tree_path",
+    "violating_non_tree_edges",
+    "violating_tree_edges",
+    "check_mst_certificates",
+    "has_valid_mst_certificates",
+]
+
+
+def tree_path(forest: SpanningForest, source: int, target: int) -> Optional[List[int]]:
+    """The unique marked-edge path from ``source`` to ``target`` (None if absent)."""
+    if not forest.graph.has_node(source) or not forest.graph.has_node(target):
+        raise ForestError("both endpoints must exist in the graph")
+    if source == target:
+        return [source]
+    parent: Dict[int, Optional[int]] = {source: None}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nbr in forest.marked_neighbors(node):
+            if nbr in parent:
+                continue
+            parent[nbr] = node
+            if nbr == target:
+                path = [nbr]
+                while parent[path[-1]] is not None:
+                    path.append(parent[path[-1]])  # type: ignore[arg-type]
+                path.reverse()
+                return path
+            queue.append(nbr)
+    return None
+
+
+def _aug(graph: Graph, edge: Edge) -> int:
+    return edge.augmented_weight(graph.id_bits)
+
+
+def violating_non_tree_edges(forest: SpanningForest) -> List[Edge]:
+    """Non-tree edges that violate the cycle property.
+
+    A non-tree edge violates the property if some tree edge on the path
+    between its endpoints is *heavier* than it (that tree edge should have
+    been replaced).
+    """
+    graph = forest.graph
+    violations = []
+    for edge in graph.edges():
+        if forest.is_marked(edge.u, edge.v):
+            continue
+        path = tree_path(forest, edge.u, edge.v)
+        if path is None:
+            # Endpoints in different trees: with a spanning forest this means
+            # different graph components, so the edge cannot close a cycle —
+            # but then it should have connected them, which is a violation of
+            # maximality handled by check_spanning_forest, not here.
+            continue
+        path_edges = [graph.get_edge(a, b) for a, b in zip(path, path[1:])]
+        if any(_aug(graph, pe) > _aug(graph, edge) for pe in path_edges):
+            violations.append(edge)
+    return violations
+
+
+def violating_tree_edges(forest: SpanningForest) -> List[Edge]:
+    """Tree edges that violate the cut property.
+
+    A tree edge violates the property if removing it leaves a cut across
+    which some non-tree edge is *lighter* than it.
+    """
+    graph = forest.graph
+    violations = []
+    for u, v in sorted(forest.marked_edges):
+        tree_edge = graph.get_edge(u, v)
+        forest.unmark(u, v)
+        try:
+            side = forest.component_of(u)
+            crossing = forest.outgoing_edges(side)
+        finally:
+            forest.mark(u, v)
+        lighter = [
+            edge
+            for edge in crossing
+            if edge != tree_edge and _aug(graph, edge) < _aug(graph, tree_edge)
+        ]
+        if lighter:
+            violations.append(tree_edge)
+    return violations
+
+
+def check_mst_certificates(forest: SpanningForest) -> None:
+    """Raise :class:`ForestError` unless both MST certificates hold."""
+    check_spanning_forest(forest)
+    cycle_violations = violating_non_tree_edges(forest)
+    if cycle_violations:
+        raise ForestError(
+            "cycle property violated by non-tree edges: "
+            f"{[(e.u, e.v) for e in cycle_violations]}"
+        )
+    cut_violations = violating_tree_edges(forest)
+    if cut_violations:
+        raise ForestError(
+            "cut property violated by tree edges: "
+            f"{[(e.u, e.v) for e in cut_violations]}"
+        )
+
+
+def has_valid_mst_certificates(forest: SpanningForest) -> bool:
+    """Boolean form of :func:`check_mst_certificates`."""
+    try:
+        check_mst_certificates(forest)
+    except ForestError:
+        return False
+    return True

@@ -1,0 +1,47 @@
+"""Minimum-spanning-forest verification.
+
+Because augmented weights are distinct, the minimum spanning forest of a
+graph is unique, so the distributed construction is correct iff its marked
+edge set equals Kruskal's.  For diagnostics, :func:`mst_difference` reports
+the symmetric difference, and :func:`check_minimum_spanning_forest` also
+validates the structural invariants first (so a failure message distinguishes
+"not a spanning forest" from "spanning but not minimum").
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from ..baselines.sequential import kruskal_mst, mst_edge_keys
+from ..network.errors import ForestError
+from ..network.fragments import SpanningForest
+from .forest_check import check_spanning_forest
+
+__all__ = ["check_minimum_spanning_forest", "is_minimum_spanning_forest", "mst_difference"]
+
+
+def mst_difference(forest: SpanningForest) -> Tuple[Set[Tuple[int, int]], Set[Tuple[int, int]]]:
+    """Return ``(extra, missing)`` marked edges w.r.t. the true minimum forest."""
+    optimal = mst_edge_keys(kruskal_mst(forest.graph))
+    marked = forest.marked_edges
+    return marked - optimal, optimal - marked
+
+
+def check_minimum_spanning_forest(forest: SpanningForest) -> None:
+    """Raise :class:`ForestError` unless the forest is the (unique) minimum one."""
+    check_spanning_forest(forest)
+    extra, missing = mst_difference(forest)
+    if extra or missing:
+        raise ForestError(
+            f"forest is spanning but not minimum: extra edges {sorted(extra)}, "
+            f"missing edges {sorted(missing)}"
+        )
+
+
+def is_minimum_spanning_forest(forest: SpanningForest) -> bool:
+    """Boolean form of :func:`check_minimum_spanning_forest`."""
+    try:
+        check_minimum_spanning_forest(forest)
+    except ForestError:
+        return False
+    return True

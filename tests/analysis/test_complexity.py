@@ -1,0 +1,86 @@
+"""Tests for the complexity-fitting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    BOUNDS,
+    bound_value,
+    fit_constant,
+    is_sublinear_in,
+    ratio_series,
+)
+from repro.network.errors import AlgorithmError
+
+
+class TestBounds:
+    def test_known_bounds_evaluate(self):
+        n, m = 256, 10000
+        assert bound_value("n", n, m) == 256
+        assert bound_value("m", n, m) == 10000
+        assert bound_value("n_log_n", n, m) == pytest.approx(256 * 8)
+        assert bound_value("m_plus_n_log_n", n, m) == pytest.approx(10000 + 256 * 8)
+        expected = 256 * 64 / math.log2(8)
+        assert bound_value("n_log2_n_over_loglog_n", n, m) == pytest.approx(expected)
+
+    def test_unknown_bound_rejected(self):
+        with pytest.raises(AlgorithmError):
+            bound_value("n_cubed", 10, 10)
+
+    def test_all_bounds_positive(self):
+        for name in BOUNDS:
+            assert bound_value(name, 64, 500) > 0
+
+    def test_bounds_safe_for_tiny_inputs(self):
+        for name in BOUNDS:
+            assert bound_value(name, 1, 0) >= 0
+
+
+class TestFitConstant:
+    def test_perfect_fit_constant_spread_one(self):
+        sizes = [(64, 500), (128, 2000), (256, 8000)]
+        measurements = [3 * n * math.log2(n) for n, _ in sizes]
+        fit = fit_constant(sizes, measurements, "n_log_n")
+        assert fit.mean_constant == pytest.approx(3.0)
+        assert fit.spread == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AlgorithmError):
+            fit_constant([(10, 10)], [1.0, 2.0], "n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlgorithmError):
+            fit_constant([], [], "n")
+
+    def test_growing_constants_detected_by_spread(self):
+        sizes = [(16, 100), (64, 100), (256, 100)]
+        measurements = [n * n for n, _ in sizes]  # quadratic, fit against linear
+        fit = fit_constant(sizes, measurements, "n")
+        assert fit.spread > 10
+
+
+class TestRatios:
+    def test_ratio_series(self):
+        assert ratio_series([2, 4, 6], [1, 2, 3]) == [2.0, 2.0, 2.0]
+        assert ratio_series([1.0], [0.0]) == [0.0]
+
+    def test_ratio_series_length_mismatch(self):
+        with pytest.raises(AlgorithmError):
+            ratio_series([1], [1, 2])
+
+    def test_is_sublinear_detects_shrinking_ratio(self):
+        ns = [32, 64, 128, 256, 512]
+        measurements = [n * math.log2(n) for n in ns]      # ~ n log n
+        references = [n ** 1.5 for n in ns]                # ~ m for dense graphs
+        assert is_sublinear_in(measurements, references)
+
+    def test_is_sublinear_rejects_flat_ratio(self):
+        ns = [32, 64, 128, 256]
+        measurements = [5 * n for n in ns]
+        references = [float(n) for n in ns]
+        assert not is_sublinear_in(measurements, references)
+
+    def test_is_sublinear_needs_two_points(self):
+        with pytest.raises(AlgorithmError):
+            is_sublinear_in([1.0], [1.0])

@@ -1,0 +1,61 @@
+"""Tests for ASCII experiment tables."""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentTable, format_cell, format_table
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_thousands_separator(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_float_formats(self):
+        assert format_cell(0.12345) == "0.123"
+        assert format_cell(12.345) == "12.3"
+        assert format_cell(1234.5) == "1,234"
+        assert format_cell(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_cell("KKT") == "KKT"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["n", "messages"],
+            [[64, 1000], [128, 250000]],
+            title="Example",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Example"
+        assert "n" in lines[2] and "messages" in lines[2]
+        # all rows share the same width
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestExperimentTable:
+    def test_add_row_validates_width(self):
+        table = ExperimentTable("E1", "demo", ["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_includes_id_and_notes(self):
+        table = ExperimentTable("E7", "HP-TestOut error", ["n", "errors"])
+        table.add_row(64, 0)
+        table.add_note("bound: <= n^-c")
+        text = table.render()
+        assert "[E7]" in text
+        assert "note: bound" in text
+        assert "64" in text

@@ -1,0 +1,57 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import mean, median, percentile, stdev, summarize
+from repro.network.errors import AlgorithmError
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+        with pytest.raises(AlgorithmError):
+            mean([])
+
+    def test_stdev(self):
+        assert stdev([5]) == 0.0
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_percentile(self):
+        values = list(range(1, 11))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 10
+        assert percentile(values, 50) == 5.5
+
+    def test_percentile_validation(self):
+        with pytest.raises(AlgorithmError):
+            percentile([], 50)
+        with pytest.raises(AlgorithmError):
+            percentile([1], 120)
+
+    def test_percentile_single_value(self):
+        assert percentile([7], 90) == 7
+
+
+class TestSummary:
+    def test_summarize_fields(self):
+        summary = summarize([1, 2, 3, 4, 100])
+        assert summary.count == 5
+        assert summary.minimum == 1
+        assert summary.maximum == 100
+        assert summary.median == 3
+        assert summary.mean == 22
+        assert summary.p90 >= 4
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(AlgorithmError):
+            summarize([])
+
+    def test_confidence_halfwidth(self):
+        summary = summarize([10.0] * 20)
+        assert summary.confidence_halfwidth() == 0.0
+        varied = summarize(list(range(20)))
+        assert varied.confidence_halfwidth() > 0

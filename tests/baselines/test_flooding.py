@@ -1,0 +1,95 @@
+"""Tests for the flooding broadcast-tree baseline."""
+
+import pytest
+
+from repro.baselines.flooding_st import flooding_spanning_tree
+from repro.generators import complete_graph, grid_graph, path_graph, random_connected_graph
+from repro.network.errors import AlgorithmError
+from repro.network.graph import Graph
+from repro.network.scheduler import LifoScheduler, RandomScheduler
+from repro.verify import is_spanning_forest
+
+
+class TestFloodingCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_spanning_tree_on_connected_graph(self, seed):
+        graph = random_connected_graph(30, 100, seed=seed)
+        forest, acct = flooding_spanning_tree(graph)
+        assert is_spanning_forest(forest)
+        assert forest.num_marked == 29
+
+    def test_specific_source(self):
+        graph = grid_graph(4, 4, seed=1)
+        forest, _ = flooding_spanning_tree(graph, source=7)
+        assert is_spanning_forest(forest)
+
+    def test_unknown_source_rejected(self):
+        graph = path_graph(5)
+        with pytest.raises(AlgorithmError):
+            flooding_spanning_tree(graph, source=99)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AlgorithmError):
+            flooding_spanning_tree(Graph())
+
+    def test_disconnected_graph_reaches_only_source_component(self):
+        graph = Graph(id_bits=5)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 1)
+        graph.add_edge(8, 9, 1)
+        forest, _ = flooding_spanning_tree(graph, source=1)
+        assert forest.component_of(1) == {1, 2, 3}
+        assert forest.component_of(8) == {8}
+
+    @pytest.mark.parametrize(
+        "scheduler_factory", [lambda: RandomScheduler(seed=4), LifoScheduler]
+    )
+    def test_async_adversarial_schedules_still_spanning(self, scheduler_factory):
+        graph = random_connected_graph(25, 90, seed=5)
+        forest, _ = flooding_spanning_tree(
+            graph, engine="async", scheduler=scheduler_factory()
+        )
+        assert is_spanning_forest(forest)
+
+    def test_sync_flooding_gives_bfs_tree(self):
+        """Under the synchronous engine flooding yields shortest-path parents."""
+        graph = grid_graph(3, 5, seed=2)
+        source = 1
+        forest, _ = flooding_spanning_tree(graph, source=source, engine="sync")
+        # BFS depths in the grid from node 1 (corner) equal Manhattan distance.
+        from collections import deque
+
+        depth = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for nbr in graph.neighbors(node):
+                if nbr not in depth:
+                    depth[nbr] = depth[node] + 1
+                    queue.append(nbr)
+        tree_depth = {source: 0}
+        # walk the marked tree from the source
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for nbr in forest.marked_neighbors(node):
+                if nbr not in tree_depth:
+                    tree_depth[nbr] = tree_depth[node] + 1
+                    stack.append(nbr)
+        assert tree_depth == depth
+
+
+class TestFloodingCost:
+    def test_cost_is_theta_m(self):
+        graph = complete_graph(16, seed=3)
+        _, acct = flooding_spanning_tree(graph)
+        m = graph.num_edges
+        # every edge carries at least 1 and at most 2 messages
+        assert m <= acct.messages <= 2 * m
+
+    def test_cost_grows_linearly_with_edges(self):
+        sparse = random_connected_graph(40, 50, seed=6)
+        dense = random_connected_graph(40, 500, seed=6)
+        _, sparse_acct = flooding_spanning_tree(sparse)
+        _, dense_acct = flooding_spanning_tree(dense)
+        assert dense_acct.messages > 5 * sparse_acct.messages

@@ -1,0 +1,75 @@
+"""Tests for the controlled-GHS baseline."""
+
+import pytest
+
+from repro.baselines.ghs import GHSBuildMST, ghs_build_mst
+from repro.baselines.sequential import kruskal_mst, mst_edge_keys
+from repro.generators import complete_graph, path_graph, random_connected_graph
+from repro.network.errors import AlgorithmError
+from repro.network.graph import Graph
+from repro.verify import is_minimum_spanning_forest
+
+
+class TestGHSCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_kruskal(self, seed):
+        graph = random_connected_graph(25, 90, seed=seed)
+        report = ghs_build_mst(graph)
+        assert report.marked_edges == mst_edge_keys(kruskal_mst(graph))
+
+    def test_small_hand_graph(self, small_weighted_graph, small_mst_keys):
+        report = ghs_build_mst(small_weighted_graph)
+        assert report.marked_edges == small_mst_keys
+
+    def test_path_graph(self):
+        graph = path_graph(15, seed=1)
+        report = ghs_build_mst(graph)
+        assert len(report.marked_edges) == 14
+
+    def test_complete_graph(self):
+        graph = complete_graph(12, seed=2)
+        report = ghs_build_mst(graph)
+        assert is_minimum_spanning_forest(report.forest)
+
+    def test_disconnected_graph(self):
+        graph = Graph(id_bits=6)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 2)
+        graph.add_edge(1, 3, 3)
+        graph.add_edge(8, 9, 4)
+        graph.add_node(12)
+        report = ghs_build_mst(graph)
+        assert is_minimum_spanning_forest(report.forest)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(AlgorithmError):
+            GHSBuildMST(Graph())
+
+    def test_deterministic(self):
+        graph_a = random_connected_graph(20, 60, seed=7)
+        graph_b = random_connected_graph(20, 60, seed=7)
+        assert ghs_build_mst(graph_a).messages == ghs_build_mst(graph_b).messages
+
+
+class TestGHSCost:
+    def test_messages_grow_with_density(self):
+        """GHS pays for every edge at least once: cost is Ω(m)."""
+        sparse = random_connected_graph(40, 60, seed=3)
+        dense = random_connected_graph(40, 400, seed=3)
+        sparse_messages = ghs_build_mst(sparse).messages
+        dense_messages = ghs_build_mst(dense).messages
+        assert dense_messages > sparse_messages
+        # Every non-MST edge is rejected once from at least one side: at
+        # least one TEST/REJECT pair, i.e. >= 2 messages per edge beyond the
+        # spanning tree.
+        assert dense_messages >= 2 * (dense.num_edges - dense.num_nodes + 1)
+
+    def test_phases_logarithmic(self):
+        graph = random_connected_graph(64, 200, seed=4)
+        report = ghs_build_mst(graph)
+        assert report.phases <= 4 * 7 + 2
+
+    def test_phase_records_consistent(self):
+        graph = random_connected_graph(20, 60, seed=5)
+        report = ghs_build_mst(graph)
+        assert sum(r.messages for r in report.phase_records) == report.messages

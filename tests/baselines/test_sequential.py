@@ -1,0 +1,114 @@
+"""Tests for the sequential MST algorithms and union-find."""
+
+import pytest
+
+from repro.baselines.sequential import (
+    UnionFind,
+    boruvka_mst,
+    kruskal_mst,
+    mst_edge_keys,
+    mst_weight,
+    prim_mst,
+)
+from repro.generators import complete_graph, grid_graph, random_connected_graph
+from repro.network.errors import AlgorithmError
+from repro.network.graph import Graph
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind([1, 2, 3, 4])
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+        assert not uf.union(2, 1)
+        assert uf.num_sets() == 3
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(range(1, 6))
+        uf.union(1, 2)
+        uf.union(2, 3)
+        uf.union(4, 5)
+        assert uf.connected(1, 3)
+        assert not uf.connected(3, 5)
+        assert uf.num_sets() == 2
+
+    def test_add_after_construction(self):
+        uf = UnionFind()
+        uf.add(7)
+        uf.add(8)
+        assert uf.union(7, 8)
+
+    def test_unknown_element_rejected(self):
+        uf = UnionFind([1])
+        with pytest.raises(AlgorithmError):
+            uf.find(99)
+
+    def test_path_compression_keeps_answers_stable(self):
+        uf = UnionFind(range(100))
+        for i in range(99):
+            uf.union(i, i + 1)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(100))
+        assert uf.num_sets() == 1
+
+
+class TestSequentialMST:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_three_algorithms_agree(self, seed):
+        graph = random_connected_graph(30, 120, seed=seed)
+        kruskal = mst_edge_keys(kruskal_mst(graph))
+        prim = mst_edge_keys(prim_mst(graph))
+        boruvka = mst_edge_keys(boruvka_mst(graph))
+        assert kruskal == prim == boruvka
+
+    def test_known_small_mst(self, small_weighted_graph, small_mst_keys):
+        assert mst_edge_keys(kruskal_mst(small_weighted_graph)) == small_mst_keys
+        assert mst_edge_keys(prim_mst(small_weighted_graph)) == small_mst_keys
+        assert mst_edge_keys(boruvka_mst(small_weighted_graph)) == small_mst_keys
+
+    def test_tree_count_on_connected_graph(self):
+        graph = random_connected_graph(25, 80, seed=5)
+        assert len(kruskal_mst(graph)) == 24
+
+    def test_disconnected_graph_gives_forest(self):
+        graph = Graph(id_bits=6)
+        graph.add_edge(1, 2, 3)
+        graph.add_edge(2, 3, 1)
+        graph.add_edge(1, 3, 2)
+        graph.add_edge(10, 11, 5)
+        graph.add_node(20)
+        for algorithm in (kruskal_mst, prim_mst, boruvka_mst):
+            edges = algorithm(graph)
+            assert len(edges) == 3
+        assert mst_weight(kruskal_mst(graph)) == 1 + 2 + 5
+
+    def test_complete_graph_mst_weight(self):
+        graph = complete_graph(10, seed=2)
+        weights = [kruskal_mst(graph), prim_mst(graph), boruvka_mst(graph)]
+        assert len({mst_weight(w) for w in weights}) == 1
+
+    def test_grid_graph(self):
+        graph = grid_graph(5, 5, seed=1)
+        assert mst_edge_keys(kruskal_mst(graph)) == mst_edge_keys(prim_mst(graph))
+
+    def test_duplicate_weights_resolved_by_edge_number(self):
+        graph = Graph(id_bits=5)
+        for u, v in [(1, 2), (2, 3), (3, 1), (3, 4), (4, 1)]:
+            graph.add_edge(u, v, 5)
+        kruskal = mst_edge_keys(kruskal_mst(graph))
+        prim = mst_edge_keys(prim_mst(graph))
+        boruvka = mst_edge_keys(boruvka_mst(graph))
+        assert kruskal == prim == boruvka
+        assert len(kruskal) == 3
+
+    def test_empty_and_single_node(self):
+        graph = Graph()
+        assert kruskal_mst(graph) == []
+        graph.add_node(1)
+        assert kruskal_mst(graph) == []
+        assert prim_mst(graph) == []
+        assert boruvka_mst(graph) == []
+
+    def test_mst_weight_helper(self, small_weighted_graph):
+        assert mst_weight(kruskal_mst(small_weighted_graph)) == 1 + 2 + 3 + 4 + 5

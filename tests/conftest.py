@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small graphs and maintained forests that many tests reuse.
+Randomized fixtures are always seeded so failures are reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AlgorithmConfig
+from repro.generators import (
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_spanning_tree_forest,
+)
+from repro.network.fragments import SpanningForest
+from repro.network.graph import Graph
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """The smallest interesting graph: a weighted triangle."""
+    graph = Graph(id_bits=4)
+    graph.add_edge(1, 2, 5)
+    graph.add_edge(2, 3, 3)
+    graph.add_edge(1, 3, 7)
+    return graph
+
+
+@pytest.fixture
+def small_weighted_graph() -> Graph:
+    """A hand-built 6-node graph with a known unique MST.
+
+    MST edges: (1,2,w1), (2,3,w2), (3,4,w3), (4,5,w4), (5,6,w5); the heavier
+    chords (1,3), (2,5), (3,6), (1,6) are non-tree edges.
+    """
+    graph = Graph(id_bits=4)
+    graph.add_edge(1, 2, 1)
+    graph.add_edge(2, 3, 2)
+    graph.add_edge(3, 4, 3)
+    graph.add_edge(4, 5, 4)
+    graph.add_edge(5, 6, 5)
+    graph.add_edge(1, 3, 10)
+    graph.add_edge(2, 5, 11)
+    graph.add_edge(3, 6, 12)
+    graph.add_edge(1, 6, 13)
+    return graph
+
+
+@pytest.fixture
+def small_mst_keys():
+    """The edge keys of small_weighted_graph's unique MST."""
+    return {(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)}
+
+
+@pytest.fixture
+def random_graph_24() -> Graph:
+    """A seeded connected random graph on 24 nodes / 70 edges."""
+    return random_connected_graph(24, 70, seed=1234)
+
+
+@pytest.fixture
+def random_forest_24(random_graph_24: Graph) -> SpanningForest:
+    """A (non-minimum) spanning tree of random_graph_24."""
+    return random_spanning_tree_forest(random_graph_24, seed=99)
+
+
+@pytest.fixture
+def config_24() -> AlgorithmConfig:
+    return AlgorithmConfig(n=24, seed=2024)
+
+
+@pytest.fixture
+def grid_5x5() -> Graph:
+    return grid_graph(5, 5, seed=7)
+
+
+@pytest.fixture
+def path_10() -> Graph:
+    return path_graph(10, seed=3)
+
+
+@pytest.fixture
+def complete_12() -> Graph:
+    return complete_graph(12, seed=5)

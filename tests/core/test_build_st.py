@@ -1,0 +1,97 @@
+"""Tests for Build-ST (Lemma 6 / Theorem 1.1) including cycle breaking."""
+
+import pytest
+
+from repro.core.build_mst import BuildMST
+from repro.core.build_st import BuildST
+from repro.core.config import AlgorithmConfig
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+)
+from repro.network.graph import Graph
+from repro.verify import is_spanning_forest
+
+
+def _build(graph, seed=0, **kwargs):
+    config = AlgorithmConfig(n=graph.num_nodes, seed=seed, **kwargs)
+    return BuildST(graph, config=config).run()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_graphs_spanning(self, seed):
+        graph = random_connected_graph(24, 80, seed=seed)
+        report = _build(graph, seed=seed)
+        assert is_spanning_forest(report.forest)
+        assert report.forest.is_forest()
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(9, seed=1)
+        report = _build(graph, seed=1)
+        assert is_spanning_forest(report.forest)
+        # A spanning tree of an n-cycle has exactly n-1 edges.
+        assert len(report.marked_edges) == 8
+
+    def test_grid(self):
+        graph = grid_graph(4, 5, seed=2)
+        report = _build(graph, seed=2)
+        assert is_spanning_forest(report.forest)
+
+    def test_complete_graph(self):
+        graph = complete_graph(12, seed=3)
+        report = _build(graph, seed=3)
+        assert is_spanning_forest(report.forest)
+        assert len(report.marked_edges) == 11
+
+    def test_disconnected_graph(self):
+        graph = Graph(id_bits=6)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 1)
+        graph.add_edge(1, 3, 1)
+        graph.add_edge(10, 11, 1)
+        graph.add_node(15)
+        report = _build(graph, seed=4)
+        assert is_spanning_forest(report.forest)
+        assert len(report.marked_edges) == 3
+
+    def test_tree_input_marks_every_edge(self):
+        from repro.generators import path_graph
+
+        graph = path_graph(10, seed=5)
+        report = _build(graph, seed=5)
+        assert len(report.marked_edges) == 9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cycle_breaking_never_leaves_a_cycle(self, seed):
+        """Across many seeds the final marked subgraph must be acyclic."""
+        graph = random_connected_graph(18, 60, seed=seed + 40)
+        report = _build(graph, seed=seed)
+        report.forest.check_forest()
+
+
+class TestCost:
+    def test_st_cheaper_than_mst_on_same_graph(self):
+        graph_a = random_connected_graph(28, 120, seed=6)
+        graph_b = random_connected_graph(28, 120, seed=6)
+        st_report = _build(graph_a, seed=7)
+        mst_config = AlgorithmConfig(n=28, seed=7)
+        mst_report = BuildMST(graph_b, config=mst_config).run()
+        # Lemma 6 vs Lemma 3: ST construction saves a log n / log log n factor.
+        assert st_report.messages < mst_report.messages
+
+    def test_messages_positive_and_phases_bounded(self):
+        graph = random_connected_graph(24, 100, seed=8)
+        report = _build(graph, seed=8)
+        assert report.messages > 0
+        assert report.phases <= AlgorithmConfig(n=24).build_phase_budget()
+
+    def test_seed_reproducibility(self):
+        graph_a = random_connected_graph(20, 70, seed=9)
+        graph_b = random_connected_graph(20, 70, seed=9)
+        a = _build(graph_a, seed=11)
+        b = _build(graph_b, seed=11)
+        assert a.messages == b.messages
+        assert a.marked_edges == b.marked_edges

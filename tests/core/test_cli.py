@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build-mst"])
+        assert args.nodes == 64
+        assert args.density == "dense"
+        assert args.error_exponent == 1.0
+
+    def test_repair_arguments(self):
+        args = build_parser().parse_args(
+            ["repair", "--nodes", "24", "--mode", "st", "--updates", "4"]
+        )
+        assert args.mode == "st"
+        assert args.updates == 4
+
+    def test_sweep_sizes(self):
+        args = build_parser().parse_args(["sweep", "--sizes", "16", "32"])
+        assert args.sizes == [16, 32]
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_build_mst_command(self, capsys):
+        code = main(["build-mst", "--nodes", "20", "--density", "sparse", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Build-MST" in out
+        assert "KKT Build-MST messages" in out
+        assert "ghs baseline messages" in out
+
+    def test_build_st_command(self, capsys):
+        code = main(["build-st", "--nodes", "20", "--density", "sparse", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Build-ST" in out
+        assert "flooding baseline messages" in out
+
+    def test_repair_command(self, capsys):
+        code = main(
+            ["repair", "--nodes", "20", "--density", "sparse", "--updates", "4", "--seed", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tree invariant holds" in out
+        assert "yes" in out
+
+    def test_repair_with_recompute_baseline(self, capsys):
+        code = main(
+            [
+                "repair",
+                "--nodes", "16",
+                "--density", "sparse",
+                "--updates", "3",
+                "--seed", "6",
+                "--compare-recompute",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recompute baseline per update" in out
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            ["sweep", "--kind", "st", "--sizes", "16", "24", "--density", "sparse", "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Build-ST sweep" in out
+        assert "16" in out and "24" in out
+
+    def test_selfcheck_command(self, capsys):
+        code = main(["selfcheck"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("OK") == 3

@@ -1,0 +1,139 @@
+"""Tests for FindAny / FindAny-C (Lemmas 4-5)."""
+
+import pytest
+
+from repro.core.config import AlgorithmConfig, FINDANY_SUCCESS_PROBABILITY
+from repro.core.findany import FindAny
+from repro.generators import random_connected_graph, random_spanning_tree_forest
+from repro.network.accounting import MessageAccountant
+from repro.network.fragments import SpanningForest
+from repro.network.graph import Graph
+
+
+def _two_fragment_graph(cut_edges=((3, 4, 10), (1, 6, 20), (2, 5, 15))):
+    graph = Graph(id_bits=4)
+    graph.add_edge(1, 2, 1)
+    graph.add_edge(2, 3, 2)
+    graph.add_edge(4, 5, 3)
+    graph.add_edge(5, 6, 4)
+    for u, v, w in cut_edges:
+        graph.add_edge(u, v, w)
+    forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (4, 5), (5, 6)])
+    return graph, forest
+
+
+def _finder(graph, forest, seed=0, **kwargs):
+    config = AlgorithmConfig(n=graph.num_nodes, seed=seed, **kwargs)
+    return FindAny(graph, forest, config, MessageAccountant())
+
+
+class TestFindAnySmall:
+    def test_returns_a_cut_edge(self):
+        graph, forest = _two_fragment_graph()
+        cut_keys = {(3, 4), (1, 6), (2, 5)}
+        for seed in range(5):
+            result = _finder(graph, forest, seed=seed).find_any(1)
+            assert result.edge is not None
+            assert result.edge.endpoints in cut_keys
+
+    def test_single_cut_edge_is_found(self):
+        graph, forest = _two_fragment_graph(cut_edges=((3, 4, 10),))
+        result = _finder(graph, forest, seed=3).find_any(1)
+        assert result.edge.endpoints == (3, 4)
+
+    def test_verified_empty_when_no_cut(self):
+        graph, forest = _two_fragment_graph(cut_edges=())
+        result = _finder(graph, forest, seed=1).find_any(1)
+        assert result.edge is None
+        assert result.verified_empty
+
+    def test_isolated_node(self):
+        graph = Graph(id_bits=4)
+        graph.add_node(3)
+        graph.add_edge(1, 2, 1)
+        forest = SpanningForest(graph, marked=[(1, 2)])
+        result = _finder(graph, forest, seed=2).find_any(3)
+        assert result.edge is None
+        assert result.verified_empty
+        assert result.cost.messages == 0
+
+    def test_capped_success_rate_at_least_one_sixteenth(self):
+        graph, forest = _two_fragment_graph()
+        successes = 0
+        trials = 80
+        for seed in range(trials):
+            result = _finder(graph, forest, seed=seed).find_any_capped(1)
+            if result.edge is not None:
+                successes += 1
+        # Lemma 5: success probability >= 1/16.  Require at least half that
+        # to keep the test robust to seed luck (expected ~ 5+ successes; in
+        # practice the empirical rate is far higher).
+        assert successes >= trials * FINDANY_SUCCESS_PROBABILITY / 2
+
+    def test_capped_never_returns_non_cut_edge(self):
+        graph, forest = _two_fragment_graph()
+        cut_keys = {(3, 4), (1, 6), (2, 5)}
+        for seed in range(40):
+            result = _finder(graph, forest, seed=seed).find_any_capped(1)
+            if result.edge is not None:
+                assert result.edge.endpoints in cut_keys
+
+
+class TestFindAnyRandomGraphs:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_returns_true_cut_edge(self, seed):
+        graph = random_connected_graph(22, 70, seed=seed)
+        forest = random_spanning_tree_forest(graph, seed=seed + 10)
+        key = sorted(forest.marked_edges)[seed]
+        forest.unmark(*key)
+        root = key[0]
+        component = forest.component_of(root)
+        cut = {
+            (e.u, e.v) for e in forest.outgoing_edges(component)
+        }
+        result = _finder(graph, forest, seed=seed, c=2.0).find_any(root)
+        assert result.edge is not None
+        assert result.edge.endpoints in cut
+
+    def test_uses_constant_broadcast_echoes_in_expectation(self):
+        graph = random_connected_graph(30, 120, seed=7)
+        forest = random_spanning_tree_forest(graph, seed=7)
+        key = sorted(forest.marked_edges)[1]
+        forest.unmark(*key)
+        root = key[0]
+        total_be = 0
+        runs = 10
+        for seed in range(runs):
+            result = _finder(graph, forest, seed=seed).find_any(root)
+            assert result.edge is not None
+            total_be += result.broadcast_echoes
+        # Expected: stats + HP + ~(3 per attempt) * E[attempts <= 16];
+        # empirically the average is well under 20.
+        assert total_be / runs < 30
+
+    def test_cheaper_than_findmin_on_same_cut(self):
+        from repro.core.findmin import FindMin
+
+        graph = random_connected_graph(30, 120, seed=11)
+        forest = random_spanning_tree_forest(graph, seed=11)
+        key = sorted(forest.marked_edges)[5]
+        forest.unmark(*key)
+        # Search from the endpoint whose fragment is larger so that the
+        # broadcast-and-echoes actually cost messages.
+        root = max(key, key=lambda node: len(forest.component_of(node)))
+        assert len(forest.component_of(root)) > 1
+        config_a = AlgorithmConfig(n=30, seed=1)
+        config_b = AlgorithmConfig(n=30, seed=1)
+        any_cost = FindAny(graph, forest, config_a, MessageAccountant()).find_any(root)
+        min_cost = FindMin(graph, forest, config_b, MessageAccountant()).find_min(root)
+        assert any_cost.edge is not None and min_cost.edge is not None
+        assert any_cost.cost.messages < min_cost.cost.messages
+        assert any_cost.broadcast_echoes < min_cost.broadcast_echoes
+
+
+class TestPowerOfTwoHelper:
+    def test_strictly_above(self):
+        assert FindAny._power_of_two_above(1) == 2
+        assert FindAny._power_of_two_above(2) == 4
+        assert FindAny._power_of_two_above(3) == 4
+        assert FindAny._power_of_two_above(16) == 32

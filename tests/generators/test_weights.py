@@ -1,0 +1,46 @@
+"""Tests for the weight-assignment schemes."""
+
+from repro.generators.structured import complete_graph
+from repro.generators.weights import (
+    assign_adversarial_weights,
+    assign_permutation_weights,
+    assign_uniform_weights,
+)
+
+
+class TestUniformWeights:
+    def test_within_bounds(self):
+        graph = complete_graph(10, seed=1)
+        assign_uniform_weights(graph, max_weight=7, seed=2)
+        assert all(1 <= e.weight <= 7 for e in graph.edges())
+
+    def test_seeded(self):
+        a = complete_graph(8, seed=1)
+        b = complete_graph(8, seed=1)
+        assign_uniform_weights(a, 100, seed=5)
+        assign_uniform_weights(b, 100, seed=5)
+        assert [e.weight for e in a.edges()] == [e.weight for e in b.edges()]
+
+
+class TestPermutationWeights:
+    def test_distinct_and_complete(self):
+        graph = complete_graph(9, seed=1)
+        assign_permutation_weights(graph, seed=3)
+        weights = sorted(e.weight for e in graph.edges())
+        assert weights == list(range(1, graph.num_edges + 1))
+
+
+class TestAdversarialWeights:
+    def test_wide_spread(self):
+        graph = complete_graph(10, seed=1)
+        assign_adversarial_weights(graph, spread_bits=30, seed=4)
+        weights = [e.weight for e in graph.edges()]
+        assert max(weights) > 2 ** 25
+        assert min(weights) >= 1
+
+    def test_preserves_edge_set(self):
+        graph = complete_graph(7, seed=2)
+        before = {(e.u, e.v) for e in graph.edges()}
+        assign_adversarial_weights(graph, seed=5)
+        after = {(e.u, e.v) for e in graph.edges()}
+        assert before == after

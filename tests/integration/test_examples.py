@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs end to end with small parameters."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExampleScripts:
+    def test_examples_directory_contents(self):
+        scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in scripts
+        assert len(scripts) >= 3
+
+    def test_quickstart(self):
+        result = _run("quickstart.py", "24", "80", "3")
+        assert result.returncode == 0, result.stderr
+        assert "Build-MST" in result.stdout
+        assert "Construction cost comparison" in result.stdout
+
+    def test_dynamic_repair(self):
+        result = _run("dynamic_repair.py", "24", "90", "6", "4")
+        assert result.returncode == 0, result.stderr
+        assert "Impromptu repair" in result.stdout
+        assert "cheaper per update" in result.stdout
+
+    def test_broadcast_tree_vs_flooding(self):
+        result = _run("broadcast_tree_vs_flooding.py", "48")
+        assert result.returncode == 0, result.stderr
+        assert "Broadcast-tree construction" in result.stdout
+        assert "one broadcast costs" in result.stdout
+
+    def test_superpolynomial_weights(self):
+        result = _run("superpolynomial_weights.py", "20", "80", "3")
+        assert result.returncode == 0, result.stderr
+        assert "sampled" in result.stdout
+
+    def test_message_complexity_study_rejects_unknown_experiment(self):
+        result = _run("message_complexity_study.py", "E99")
+        assert result.returncode == 1
+        assert "unknown experiment" in result.stdout

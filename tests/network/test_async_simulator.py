@@ -1,0 +1,107 @@
+"""Unit tests for the asynchronous event-driven engine and its schedulers."""
+
+import pytest
+
+from repro.network.async_simulator import AsynchronousSimulator
+from repro.network.errors import SimulationError
+from repro.network.graph import Graph
+from repro.network.message import Message
+from repro.network.node import ProtocolNode
+from repro.network.scheduler import LifoScheduler, RandomScheduler
+
+
+class Forwarder(ProtocolNode):
+    """Forward a token along a line until it reaches the last node."""
+
+    def __init__(self, node_id, neighbors, start=False, last=False):
+        super().__init__(node_id, neighbors)
+        self.start_token = start
+        self.last = last
+        self.got_token = False
+
+    def on_start(self):
+        if self.start_token:
+            self.send(self.node_id + 1, "TOKEN", size_bits=2)
+
+    def on_message(self, message: Message):
+        self.got_token = True
+        if not self.last:
+            self.send(self.node_id + 1, "TOKEN", size_bits=2)
+
+
+def _line(n=5):
+    graph = Graph()
+    for i in range(1, n):
+        graph.add_edge(i, i + 1, 1)
+    return graph
+
+
+def _forwarders(graph):
+    n = graph.num_nodes
+    nodes = []
+    for node_id in graph.nodes():
+        neighbors = {v: 1 for v in graph.neighbors(node_id)}
+        nodes.append(Forwarder(node_id, neighbors, start=(node_id == 1), last=(node_id == n)))
+    return nodes
+
+
+class TestAsyncEngine:
+    def test_token_reaches_end(self):
+        graph = _line(5)
+        sim = AsynchronousSimulator(graph)
+        sim.register_all(_forwarders(graph))
+        deliveries = sim.run()
+        assert deliveries == 4
+        assert sim.nodes[5].got_token
+        assert sim.accountant.messages == 4
+
+    def test_causal_depth_equals_chain_length(self):
+        graph = _line(6)
+        sim = AsynchronousSimulator(graph)
+        sim.register_all(_forwarders(graph))
+        sim.run()
+        assert sim.causal_depth == 5
+        assert sim.accountant.rounds == 5
+
+    def test_random_scheduler_same_outcome(self):
+        graph = _line(5)
+        sim = AsynchronousSimulator(graph, scheduler=RandomScheduler(seed=3))
+        sim.register_all(_forwarders(graph))
+        sim.run()
+        assert sim.nodes[5].got_token
+
+    def test_lifo_scheduler_same_outcome(self):
+        graph = _line(5)
+        sim = AsynchronousSimulator(graph, scheduler=LifoScheduler())
+        sim.register_all(_forwarders(graph))
+        sim.run()
+        assert sim.nodes[5].got_token
+
+    def test_deliver_one_requires_start(self):
+        graph = _line(3)
+        sim = AsynchronousSimulator(graph)
+        sim.register_all(_forwarders(graph))
+        with pytest.raises(SimulationError):
+            sim.deliver_one()
+
+    def test_max_deliveries_guard(self):
+        class PingPong(ProtocolNode):
+            def on_start(self):
+                self.broadcast_to_neighbors("SPAM")
+
+            def on_message(self, message):
+                self.send(message.sender, "SPAM")
+
+        graph = _line(2)
+        sim = AsynchronousSimulator(graph, max_deliveries=20)
+        for node_id in graph.nodes():
+            sim.register(PingPong(node_id, {v: 1 for v in graph.neighbors(node_id)}))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_start_requires_full_coverage(self):
+        graph = _line(3)
+        sim = AsynchronousSimulator(graph)
+        sim.register(Forwarder(1, {2: 1}, start=True))
+        with pytest.raises(SimulationError):
+            sim.start()

@@ -1,0 +1,149 @@
+"""Unit tests for the SpanningForest (properly-marked) state."""
+
+import pytest
+
+from repro.network.errors import ForestError
+from repro.network.fragments import SpanningForest
+from repro.network.graph import Graph
+
+
+@pytest.fixture
+def graph_and_forest(small_weighted_graph):
+    forest = SpanningForest(small_weighted_graph)
+    for key in [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]:
+        forest.mark(*key)
+    return small_weighted_graph, forest
+
+
+class TestMarking:
+    def test_mark_and_unmark(self, triangle_graph):
+        forest = SpanningForest(triangle_graph)
+        forest.mark(1, 2)
+        assert forest.is_marked(2, 1)
+        forest.unmark(1, 2)
+        assert not forest.is_marked(1, 2)
+
+    def test_unmark_missing_is_noop(self, triangle_graph):
+        forest = SpanningForest(triangle_graph)
+        forest.unmark(1, 2)
+        assert forest.num_marked == 0
+
+    def test_cannot_mark_nonexistent_edge(self, triangle_graph):
+        forest = SpanningForest(triangle_graph)
+        with pytest.raises(ForestError):
+            forest.mark(1, 9)
+
+    def test_constructor_accepts_marked_edges(self, triangle_graph):
+        forest = SpanningForest(triangle_graph, marked=[(1, 2), (2, 3)])
+        assert forest.num_marked == 2
+
+    def test_drop_missing_edges(self, triangle_graph):
+        forest = SpanningForest(triangle_graph, marked=[(1, 2)])
+        triangle_graph.remove_edge(1, 2)
+        gone = forest.drop_missing_edges()
+        assert gone == [(1, 2)]
+        assert forest.num_marked == 0
+
+    def test_clear(self, triangle_graph):
+        forest = SpanningForest(triangle_graph, marked=[(1, 2)])
+        forest.clear()
+        assert forest.num_marked == 0
+
+
+class TestNodeLocalViews:
+    def test_marked_neighbors(self, graph_and_forest):
+        _, forest = graph_and_forest
+        assert forest.marked_neighbors(3) == [2, 4]
+        assert forest.marked_neighbors(1) == [2]
+
+    def test_unmarked_incident_edges(self, graph_and_forest):
+        graph, forest = graph_and_forest
+        unmarked = forest.unmarked_incident_edges(1)
+        assert {(e.u, e.v) for e in unmarked} == {(1, 3), (1, 6)}
+
+    def test_marked_degree(self, graph_and_forest):
+        _, forest = graph_and_forest
+        assert forest.marked_degree(3) == 2
+        assert forest.marked_degree(6) == 1
+
+
+class TestComponents:
+    def test_component_of_full_tree(self, graph_and_forest):
+        _, forest = graph_and_forest
+        assert forest.component_of(4) == {1, 2, 3, 4, 5, 6}
+
+    def test_components_after_split(self, graph_and_forest):
+        _, forest = graph_and_forest
+        forest.unmark(3, 4)
+        comps = sorted(sorted(c) for c in forest.components())
+        assert comps == [[1, 2, 3], [4, 5, 6]]
+
+    def test_component_index(self, graph_and_forest):
+        _, forest = graph_and_forest
+        forest.unmark(3, 4)
+        index = forest.component_index()
+        assert index[1] == index[2] == index[3]
+        assert index[4] == index[5] == index[6]
+        assert index[1] != index[4]
+
+    def test_same_component(self, graph_and_forest):
+        _, forest = graph_and_forest
+        forest.unmark(3, 4)
+        assert forest.same_component(1, 3)
+        assert not forest.same_component(1, 4)
+
+    def test_tree_adjacency(self, graph_and_forest):
+        _, forest = graph_and_forest
+        adjacency = forest.tree_adjacency({1, 2, 3})
+        assert adjacency == {1: [2], 2: [1, 3], 3: [2]}
+
+    def test_outgoing_edges(self, graph_and_forest):
+        _, forest = graph_and_forest
+        forest.unmark(3, 4)
+        outgoing = forest.outgoing_edges({1, 2, 3})
+        keys = {(e.u, e.v) for e in outgoing}
+        assert keys == {(3, 4), (2, 5), (3, 6), (1, 6)}
+
+
+class TestInvariants:
+    def test_is_forest_true_for_tree(self, graph_and_forest):
+        _, forest = graph_and_forest
+        assert forest.is_forest()
+        forest.check_forest()
+
+    def test_cycle_detected(self, triangle_graph):
+        forest = SpanningForest(
+            triangle_graph, marked=[(1, 2), (2, 3), (1, 3)]
+        )
+        assert not forest.is_forest()
+        with pytest.raises(ForestError):
+            forest.check_forest()
+
+    def test_is_spanning(self, graph_and_forest):
+        _, forest = graph_and_forest
+        assert forest.is_spanning()
+        forest.unmark(3, 4)
+        assert not forest.is_spanning()
+
+    def test_cycle_nodes(self, small_weighted_graph):
+        forest = SpanningForest(
+            small_weighted_graph,
+            marked=[(1, 2), (2, 3), (1, 3), (3, 4)],
+        )
+        component = forest.component_of(1)
+        assert forest.cycle_nodes(component) == [1, 2, 3]
+
+    def test_cycle_nodes_empty_for_tree(self, graph_and_forest):
+        _, forest = graph_and_forest
+        assert forest.cycle_nodes(forest.component_of(1)) == []
+
+    def test_copy_independent(self, graph_and_forest):
+        _, forest = graph_and_forest
+        dup = forest.copy()
+        dup.unmark(1, 2)
+        assert forest.is_marked(1, 2)
+
+    def test_marked_edge_objects_and_weight(self, graph_and_forest):
+        _, forest = graph_and_forest
+        assert forest.total_marked_weight() == 1 + 2 + 3 + 4 + 5
+        assert len(forest.marked_edge_objects()) == 5

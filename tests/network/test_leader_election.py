@@ -1,0 +1,128 @@
+"""Unit tests for tree leader election and stalled-election cycle detection."""
+
+import pytest
+
+from repro.network.accounting import MessageAccountant
+from repro.network.errors import ForestError
+from repro.network.fragments import SpanningForest
+from repro.network.graph import Graph
+from repro.network.leader_election import detect_cycle, elect_leader
+
+
+def _path_forest(n):
+    graph = Graph()
+    for i in range(1, n):
+        graph.add_edge(i, i + 1, 1)
+    forest = SpanningForest(graph, marked=[(i, i + 1) for i in range(1, n)])
+    return graph, forest
+
+
+def _star_forest(n):
+    graph = Graph()
+    for i in range(2, n + 1):
+        graph.add_edge(1, i, 1)
+    forest = SpanningForest(graph, marked=[(1, i) for i in range(2, n + 1)])
+    return graph, forest
+
+
+class TestElectLeader:
+    def test_singleton(self):
+        graph = Graph()
+        graph.add_node(5)
+        forest = SpanningForest(graph)
+        result = elect_leader(forest, {5})
+        assert result.leader == 5
+        assert result.messages == 0
+
+    def test_two_nodes_higher_id_wins(self):
+        graph, forest = _path_forest(2)
+        result = elect_leader(forest, {1, 2})
+        assert result.leader == 2
+
+    def test_odd_path_single_median(self):
+        graph, forest = _path_forest(5)
+        result = elect_leader(forest, {1, 2, 3, 4, 5})
+        assert result.leader == 3
+
+    def test_even_path_two_medians_higher_wins(self):
+        graph, forest = _path_forest(4)
+        result = elect_leader(forest, {1, 2, 3, 4})
+        assert result.leader == 3
+
+    def test_star_center_is_leader(self):
+        graph, forest = _star_forest(6)
+        result = elect_leader(forest, set(range(1, 7)))
+        assert result.leader == 1
+
+    def test_message_count_linear_in_size(self):
+        graph, forest = _path_forest(9)
+        result = elect_leader(forest, set(range(1, 10)), announce=True)
+        # saturation <= n messages, announce = n-1 messages
+        assert result.messages <= 2 * 9
+
+    def test_accountant_is_charged(self):
+        graph, forest = _path_forest(5)
+        acct = MessageAccountant()
+        result = elect_leader(forest, {1, 2, 3, 4, 5}, accountant=acct)
+        assert acct.messages == result.messages
+        assert acct.rounds == result.rounds
+
+    def test_without_announce_is_cheaper(self):
+        graph, forest = _path_forest(7)
+        with_announce = elect_leader(forest, set(range(1, 8)), announce=True)
+        without = elect_leader(forest, set(range(1, 8)), announce=False)
+        assert without.messages < with_announce.messages
+
+    def test_rejects_cyclic_component(self):
+        graph = Graph()
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 1)
+        graph.add_edge(1, 3, 1)
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (1, 3)])
+        with pytest.raises(ForestError):
+            elect_leader(forest, {1, 2, 3})
+
+    def test_leader_is_deterministic(self):
+        graph, forest = _path_forest(6)
+        leaders = {elect_leader(forest, set(range(1, 7))).leader for _ in range(3)}
+        assert len(leaders) == 1
+
+
+class TestDetectCycle:
+    def test_tree_has_no_cycle(self):
+        graph, forest = _path_forest(5)
+        result = detect_cycle(forest, {1, 2, 3, 4, 5})
+        assert not result.has_cycle
+        assert result.leader is not None
+
+    def test_pure_cycle_detected(self):
+        graph = Graph()
+        edges = [(1, 2), (2, 3), (3, 4), (1, 4)]
+        for u, v in edges:
+            graph.add_edge(u, v, 1)
+        forest = SpanningForest(graph, marked=edges)
+        result = detect_cycle(forest, {1, 2, 3, 4})
+        assert result.has_cycle
+        assert result.cycle_nodes == [1, 2, 3, 4]
+        assert result.leader is None
+
+    def test_cycle_with_tail(self):
+        graph = Graph()
+        cycle = [(1, 2), (2, 3), (1, 3)]
+        for u, v in cycle:
+            graph.add_edge(u, v, 1)
+        graph.add_edge(3, 4, 1)
+        graph.add_edge(4, 5, 1)
+        forest = SpanningForest(graph, marked=cycle + [(3, 4), (4, 5)])
+        result = detect_cycle(forest, {1, 2, 3, 4, 5})
+        assert result.cycle_nodes == [1, 2, 3]
+        # the tail nodes still sent their saturation messages
+        assert result.messages >= 2
+
+    def test_singleton_component(self):
+        graph = Graph()
+        graph.add_node(9)
+        forest = SpanningForest(graph)
+        result = detect_cycle(forest, {9})
+        assert not result.has_cycle
+        assert result.leader == 9

@@ -1,0 +1,39 @@
+"""Unit tests for Message objects and bit-size helpers."""
+
+import pytest
+
+from repro.network.message import Message, message_bits_for_value
+
+
+class TestMessageBits:
+    def test_small_values(self):
+        assert message_bits_for_value(0) == 1
+        assert message_bits_for_value(1) == 1
+        assert message_bits_for_value(2) == 2
+        assert message_bits_for_value(255) == 8
+        assert message_bits_for_value(256) == 9
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            message_bits_for_value(-1)
+
+
+class TestMessage:
+    def test_defaults(self):
+        msg = Message(sender=1, receiver=2, kind="PING")
+        assert msg.size_bits == 1
+        assert msg.payload is None
+        assert msg.send_time is None
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            Message(sender=1, receiver=2, kind="PING", size_bits=0)
+
+    def test_sequence_numbers_increase(self):
+        a = Message(sender=1, receiver=2, kind="A")
+        b = Message(sender=1, receiver=2, kind="B")
+        assert b.sequence > a.sequence
+
+    def test_payload_is_free_form(self):
+        msg = Message(sender=1, receiver=2, kind="DATA", payload={"x": [1, 2]}, size_bits=32)
+        assert msg.payload["x"] == [1, 2]

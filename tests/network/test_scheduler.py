@@ -1,0 +1,115 @@
+"""Unit tests for the asynchronous delivery schedulers."""
+
+import pytest
+
+from repro.network.errors import SimulationError
+from repro.network.message import Message
+from repro.network.scheduler import (
+    EdgeDelayScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+)
+
+
+def _msg(i, sender=1, receiver=2):
+    return Message(sender=sender, receiver=receiver, kind=f"m{i}", size_bits=1)
+
+
+class TestFifo:
+    def test_order(self):
+        sched = FifoScheduler()
+        messages = [_msg(i) for i in range(5)]
+        for message in messages:
+            sched.push(message)
+        popped = [sched.pop() for _ in range(5)]
+        assert [m.kind for m in popped] == [m.kind for m in messages]
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(SimulationError):
+            FifoScheduler().pop()
+
+    def test_interleaved_push_pop(self):
+        sched = FifoScheduler()
+        sched.push(_msg(0))
+        sched.push(_msg(1))
+        assert sched.pop().kind == "m0"
+        sched.push(_msg(2))
+        assert sched.pop().kind == "m1"
+        assert sched.pop().kind == "m2"
+        assert sched.empty()
+
+    def test_compaction_keeps_order(self):
+        sched = FifoScheduler()
+        for i in range(3000):
+            sched.push(_msg(i))
+        for i in range(2500):
+            assert sched.pop().kind == f"m{i}"
+        assert len(sched) == 500
+        assert sched.pop().kind == "m2500"
+
+
+class TestLifo:
+    def test_order(self):
+        sched = LifoScheduler()
+        for i in range(3):
+            sched.push(_msg(i))
+        assert [sched.pop().kind for _ in range(3)] == ["m2", "m1", "m0"]
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(SimulationError):
+            LifoScheduler().pop()
+
+
+class TestRandom:
+    def test_is_permutation(self):
+        sched = RandomScheduler(seed=11)
+        kinds = {f"m{i}" for i in range(10)}
+        for i in range(10):
+            sched.push(_msg(i))
+        popped = {sched.pop().kind for _ in range(10)}
+        assert popped == kinds
+
+    def test_seeded_determinism(self):
+        orders = []
+        for _ in range(2):
+            sched = RandomScheduler(seed=42)
+            for i in range(8):
+                sched.push(_msg(i))
+            orders.append([sched.pop().kind for _ in range(8)])
+        assert orders[0] == orders[1]
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        import random
+
+        with pytest.raises(SimulationError):
+            RandomScheduler(rng=random.Random(1), seed=2)
+
+
+class TestEdgeDelay:
+    def test_slow_edge_delivered_later(self):
+        sched = EdgeDelayScheduler(delays={(1, 2): 10, (3, 4): 0}, default_delay=0)
+        slow = _msg(0, sender=1, receiver=2)
+        fast = _msg(1, sender=3, receiver=4)
+        sched.push(slow)
+        sched.push(fast)
+        assert sched.pop() is fast
+        assert sched.pop() is slow
+
+    def test_default_delay_applies(self):
+        sched = EdgeDelayScheduler(default_delay=5)
+        first = _msg(0)
+        second = _msg(1)
+        sched.push(first)
+        sched.push(second)
+        assert sched.pop() is first
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EdgeDelayScheduler(default_delay=-1)
+        with pytest.raises(SimulationError):
+            EdgeDelayScheduler(delays={(1, 2): -3})
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(SimulationError):
+            EdgeDelayScheduler().pop()

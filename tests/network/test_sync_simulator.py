@@ -1,0 +1,127 @@
+"""Unit tests for the synchronous round-based engine."""
+
+import pytest
+
+from repro.network.errors import ProtocolError, SimulationError
+from repro.network.graph import Graph
+from repro.network.message import Message
+from repro.network.node import ProtocolNode
+from repro.network.sync_simulator import SynchronousSimulator
+
+
+class EchoOnce(ProtocolNode):
+    """Node 1 pings every neighbour once; neighbours reply PONG once."""
+
+    def __init__(self, node_id, neighbors, initiator=False):
+        super().__init__(node_id, neighbors)
+        self.initiator = initiator
+        self.received = []
+
+    def on_start(self):
+        if self.initiator:
+            self.broadcast_to_neighbors("PING", size_bits=4)
+
+    def on_message(self, message: Message):
+        self.received.append((message.kind, message.sender))
+        if message.kind == "PING":
+            self.send(message.sender, "PONG", size_bits=4)
+
+
+def _line_graph(n=4):
+    graph = Graph()
+    for i in range(1, n):
+        graph.add_edge(i, i + 1, 1)
+    return graph
+
+
+def _make_nodes(graph, initiator=1):
+    nodes = []
+    for node_id in graph.nodes():
+        neighbors = {v: graph.get_edge(node_id, v).weight for v in graph.neighbors(node_id)}
+        nodes.append(EchoOnce(node_id, neighbors, initiator=(node_id == initiator)))
+    return nodes
+
+
+class TestRegistration:
+    def test_requires_node_in_graph(self):
+        graph = _line_graph()
+        sim = SynchronousSimulator(graph)
+        with pytest.raises(SimulationError):
+            sim.register(EchoOnce(99, {}))
+
+    def test_rejects_duplicate_registration(self):
+        graph = _line_graph()
+        sim = SynchronousSimulator(graph)
+        node = EchoOnce(1, {2: 1})
+        sim.register(node)
+        with pytest.raises(SimulationError):
+            sim.register(EchoOnce(1, {2: 1}))
+
+    def test_start_requires_full_coverage(self):
+        graph = _line_graph()
+        sim = SynchronousSimulator(graph)
+        sim.register(EchoOnce(1, {2: 1}))
+        with pytest.raises(SimulationError):
+            sim.start()
+
+
+class TestExecution:
+    def test_ping_pong_round_structure(self):
+        graph = _line_graph(3)   # 1-2-3, initiator 1 pings only node 2
+        sim = SynchronousSimulator(graph)
+        sim.register_all(_make_nodes(graph))
+        rounds = sim.run()
+        # Round 1 delivers PING to 2; round 2 delivers PONG to 1; round 3 is empty.
+        assert rounds == 2
+        assert sim.accountant.messages == 2
+        assert sim.accountant.bits == 8
+        assert sim.nodes[2].received == [("PING", 1)]
+        assert sim.nodes[1].received == [("PONG", 2)]
+
+    def test_messages_only_along_edges(self):
+        graph = _line_graph(3)
+        sim = SynchronousSimulator(graph)
+        nodes = _make_nodes(graph)
+        sim.register_all(nodes)
+        with pytest.raises(ProtocolError):
+            nodes[0].send(3, "PING")  # 1 and 3 are not adjacent
+
+    def test_run_fixed_rounds(self):
+        graph = _line_graph(4)
+        sim = SynchronousSimulator(graph)
+        sim.register_all(_make_nodes(graph))
+        sim.start()
+        executed = sim.run(rounds=1)
+        assert executed == 1
+        assert sim.current_round == 1
+
+    def test_double_start_rejected(self):
+        graph = _line_graph(3)
+        sim = SynchronousSimulator(graph)
+        sim.register_all(_make_nodes(graph))
+        sim.start()
+        with pytest.raises(SimulationError):
+            sim.start()
+
+    def test_max_rounds_guard(self):
+        class Chatter(ProtocolNode):
+            def on_start(self):
+                self.broadcast_to_neighbors("SPAM")
+
+            def on_message(self, message):
+                self.send(message.sender, "SPAM")
+
+        graph = _line_graph(2)
+        sim = SynchronousSimulator(graph, max_rounds=10)
+        for node_id in graph.nodes():
+            neighbors = {v: 1 for v in graph.neighbors(node_id)}
+            sim.register(Chatter(node_id, neighbors))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_rounds_recorded_in_accountant(self):
+        graph = _line_graph(3)
+        sim = SynchronousSimulator(graph)
+        sim.register_all(_make_nodes(graph))
+        sim.run()
+        assert sim.accountant.rounds == sim.current_round

@@ -1,0 +1,108 @@
+"""Tests for certificate-based MST verification."""
+
+import pytest
+
+from repro.baselines.sequential import kruskal_mst
+from repro.core.build_mst import BuildMST
+from repro.core.config import AlgorithmConfig
+from repro.generators import random_connected_graph
+from repro.network.errors import ForestError
+from repro.network.fragments import SpanningForest
+from repro.network.graph import Graph
+from repro.verify import is_minimum_spanning_forest
+from repro.verify.certificates import (
+    check_mst_certificates,
+    has_valid_mst_certificates,
+    tree_path,
+    violating_non_tree_edges,
+    violating_tree_edges,
+)
+
+
+def _mst_forest(graph):
+    forest = SpanningForest(graph)
+    for edge in kruskal_mst(graph):
+        forest.mark(edge.u, edge.v)
+    return forest
+
+
+class TestTreePath:
+    def test_path_in_small_tree(self, small_weighted_graph):
+        forest = _mst_forest(small_weighted_graph)
+        assert tree_path(forest, 1, 4) == [1, 2, 3, 4]
+        assert tree_path(forest, 4, 1) == [4, 3, 2, 1]
+        assert tree_path(forest, 3, 3) == [3]
+
+    def test_path_absent_across_trees(self):
+        graph = Graph(id_bits=5)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(5, 6, 1)
+        forest = SpanningForest(graph, marked=[(1, 2), (5, 6)])
+        assert tree_path(forest, 1, 5) is None
+
+    def test_unknown_node_rejected(self, small_weighted_graph):
+        forest = _mst_forest(small_weighted_graph)
+        with pytest.raises(ForestError):
+            tree_path(forest, 1, 99)
+
+
+class TestCertificates:
+    def test_true_mst_has_no_violations(self):
+        graph = random_connected_graph(20, 70, seed=3)
+        forest = _mst_forest(graph)
+        assert violating_non_tree_edges(forest) == []
+        assert violating_tree_edges(forest) == []
+        check_mst_certificates(forest)
+        assert has_valid_mst_certificates(forest)
+
+    def test_swapped_edge_detected_by_both_certificates(self, small_weighted_graph):
+        # Replace MST edge (1,2) by the heavier chord (1,3): still spanning,
+        # but (1,2) now violates the cycle property and (1,3) the cut property.
+        forest = SpanningForest(
+            small_weighted_graph, marked=[(1, 3), (2, 3), (3, 4), (4, 5), (5, 6)]
+        )
+        cycle_violations = {(e.u, e.v) for e in violating_non_tree_edges(forest)}
+        cut_violations = {(e.u, e.v) for e in violating_tree_edges(forest)}
+        assert (1, 2) in cycle_violations
+        assert (1, 3) in cut_violations
+        assert not has_valid_mst_certificates(forest)
+        with pytest.raises(ForestError):
+            check_mst_certificates(forest)
+
+    def test_certificates_require_spanning(self, small_weighted_graph):
+        forest = SpanningForest(small_weighted_graph, marked=[(1, 2)])
+        with pytest.raises(ForestError):
+            check_mst_certificates(forest)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_agrees_with_kruskal_comparison(self, seed):
+        """Certificates and edge-set comparison accept/reject the same forests."""
+        graph = random_connected_graph(16, 50, seed=seed)
+        mst = _mst_forest(graph)
+        assert has_valid_mst_certificates(mst) == is_minimum_spanning_forest(mst)
+        # Perturb: swap one tree edge for a heavier parallel path edge if possible.
+        non_tree = [
+            e for e in graph.edges() if (e.u, e.v) not in mst.marked_edges
+        ]
+        if non_tree:
+            edge = non_tree[0]
+            path = tree_path(mst, edge.u, edge.v)
+            assert path is not None
+            drop = (path[0], path[1]) if path[0] < path[1] else (path[1], path[0])
+            mst.unmark(*drop)
+            mst.mark(edge.u, edge.v)
+            assert has_valid_mst_certificates(mst) == is_minimum_spanning_forest(mst)
+
+    def test_distributed_construction_passes_certificates(self):
+        graph = random_connected_graph(24, 90, seed=7)
+        report = BuildMST(graph, config=AlgorithmConfig(n=24, seed=7)).run()
+        check_mst_certificates(report.forest)
+
+    def test_disconnected_graph_certificates(self):
+        graph = Graph(id_bits=6)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 5)
+        graph.add_edge(1, 3, 2)
+        graph.add_edge(10, 11, 3)
+        forest = _mst_forest(graph)
+        check_mst_certificates(forest)
