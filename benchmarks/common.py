@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.analysis import ExperimentTable, bound_value, summarize
+from repro.api.spec import DENSITY_PROFILES, GraphSpec
 from repro.core.build_mst import BuildMST, BuildReport
 from repro.core.build_st import BuildST
 from repro.core.config import AlgorithmConfig
-from repro.generators import complete_graph, gnm_random_graph, random_connected_graph
 from repro.network.graph import Graph
 
 __all__ = [
@@ -19,21 +19,14 @@ __all__ = [
     "experiment_table",
 ]
 
-#: Named density profiles: n -> number of edges.
-DENSITY_PROFILES: Dict[str, Callable[[int], int]] = {
-    "sparse": lambda n: min(2 * n, n * (n - 1) // 2),
-    "medium": lambda n: min(int(n ** 1.5), n * (n - 1) // 2),
-    "dense": lambda n: n * (n - 1) // 4,
-    "complete": lambda n: n * (n - 1) // 2,
-}
-
 
 def make_graph(n: int, density: str = "dense", seed: int = 1) -> Graph:
-    """A connected random graph of the requested size and density profile."""
-    if density == "complete":
-        return complete_graph(n, seed=seed)
-    m = max(DENSITY_PROFILES[density](n), n - 1)
-    return random_connected_graph(n, m, seed=seed)
+    """A connected random graph of the requested size and density profile.
+
+    Delegates to :class:`repro.api.spec.GraphSpec`, the single source of
+    density profiles and edge-count clamping.
+    """
+    return GraphSpec(nodes=n, density=density, seed=seed).build()
 
 
 def run_build(

@@ -9,6 +9,28 @@ Build-ST, impromptu repair under edge updates, and the classic baselines
 
 Quickstart
 ----------
+The unified runner API names every algorithm in a registry and returns a
+uniform, JSON-round-trippable :class:`RunResult`:
+
+>>> from repro import GraphSpec, run, list_algorithms
+>>> list_algorithms()
+['flooding', 'ghs', 'kkt-mst', 'kkt-repair', 'kkt-st', 'recompute-repair']
+>>> result = run("kkt-mst", GraphSpec(nodes=96, density="complete", seed=7))
+>>> result.ok
+True
+>>> result.counters()  # uniform counters, JSON-round-trippable via to_json()
+{'messages': ..., 'bits': ..., 'rounds': ..., 'phases': ...}
+
+Sweeps and head-to-head comparisons fan out across worker processes with
+deterministic per-job seeding:
+
+>>> from repro import ExperimentEngine
+>>> engine = ExperimentEngine(jobs=4)
+>>> results = engine.sweep(["kkt-st", "flooding"], sizes=[32, 64, 96])
+
+The original object-level entry points remain available (and
+``build_mst`` / ``build_st`` now delegate to the registry):
+
 >>> from repro import build_mst, generators
 >>> graph = generators.random_connected_graph(64, 256, seed=7)
 >>> report = build_mst(graph, seed=7)
@@ -38,33 +60,55 @@ from .network import (
     MessageAccountant,
     SpanningForest,
 )
+from . import api
+from .api import (
+    AlgorithmRunner,
+    ExperimentEngine,
+    ExperimentJob,
+    GraphSpec,
+    RunResult,
+    get_runner,
+    list_algorithms,
+    register,
+    run,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlgorithmConfig",
+    "AlgorithmRunner",
     "BuildMST",
     "BuildReport",
     "BuildST",
     "CutTester",
     "Edge",
+    "ExperimentEngine",
+    "ExperimentJob",
     "FindAny",
     "FindMin",
     "FindResult",
     "Graph",
+    "GraphSpec",
     "MessageAccountant",
     "RepairReport",
+    "RunResult",
     "SpanningForest",
     "SuperpolyFindMin",
     "TreeRepairer",
     "analysis",
+    "api",
     "baselines",
     "build_mst",
     "build_st",
     "core",
     "dynamic",
     "generators",
+    "get_runner",
+    "list_algorithms",
     "network",
+    "register",
+    "run",
     "verify",
     "__version__",
 ]
@@ -78,13 +122,12 @@ def build_mst(
 ) -> BuildReport:
     """Build a minimum spanning forest of ``graph`` (Theorem 1.1, MST).
 
-    Convenience wrapper around :class:`repro.core.BuildMST` with a fresh
-    accountant and a config derived from the graph size.
+    Compatibility shim: delegates to the ``kkt-mst`` runner in the algorithm
+    registry (see :func:`repro.run` for the spec-based entry point).
     """
-    config = AlgorithmConfig(
-        n=max(graph.num_nodes, 1), c=c, seed=seed, phase_policy=phase_policy
+    return get_runner("kkt-mst").build_report(
+        graph, seed=seed, c=c, phase_policy=phase_policy
     )
-    return BuildMST(graph, config=config).run()
 
 
 def build_st(
@@ -93,8 +136,11 @@ def build_st(
     c: float = 1.0,
     phase_policy: str = "adaptive",
 ) -> BuildReport:
-    """Build a spanning forest of ``graph`` (Theorem 1.1, ST)."""
-    config = AlgorithmConfig(
-        n=max(graph.num_nodes, 1), c=c, seed=seed, phase_policy=phase_policy
+    """Build a spanning forest of ``graph`` (Theorem 1.1, ST).
+
+    Compatibility shim: delegates to the ``kkt-st`` runner in the algorithm
+    registry (see :func:`repro.run` for the spec-based entry point).
+    """
+    return get_runner("kkt-st").build_report(
+        graph, seed=seed, c=c, phase_policy=phase_policy
     )
-    return BuildST(graph, config=config).run()

@@ -20,14 +20,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..api.spec import GraphSpec
 from ..baselines.flooding_st import flooding_spanning_tree
 from ..baselines.ghs import GHSBuildMST
 from ..core.build_mst import BuildMST
 from ..core.build_st import BuildST
 from ..core.config import AlgorithmConfig
-from ..generators import complete_graph, random_connected_graph
 from ..network.errors import AlgorithmError
-from ..network.graph import Graph
 from .complexity import bound_value
 
 __all__ = [
@@ -113,21 +112,6 @@ class ConstructionMeasurement:
         return self.kkt_messages / max(bound_value(bound, self.n, self.m), 1e-12)
 
 
-def _make_graph(n: int, density: str, seed: int) -> Graph:
-    if density == "complete":
-        return complete_graph(n, seed=seed)
-    if density == "dense":
-        m = n * (n - 1) // 4
-    elif density == "medium":
-        m = int(n ** 1.5)
-    elif density == "sparse":
-        m = 3 * n
-    else:
-        raise AlgorithmError(f"unknown density profile {density!r}")
-    m = min(max(m, n - 1), n * (n - 1) // 2)
-    return random_connected_graph(n, m, seed=seed)
-
-
 def run_construction_measurement(
     n: int,
     kind: str = "mst",
@@ -138,12 +122,13 @@ def run_construction_measurement(
     """Run one KKT construction plus its baseline and collect the counters."""
     if kind not in ("mst", "st"):
         raise AlgorithmError("kind must be 'mst' or 'st'")
-    graph = _make_graph(n, density, seed)
+    spec = GraphSpec(nodes=n, density=density, seed=seed)
+    graph = spec.build()
     config = AlgorithmConfig(n=n, seed=seed, c=c)
     builder = BuildMST(graph, config=config) if kind == "mst" else BuildST(graph, config=config)
     report = builder.run()
 
-    baseline_graph = _make_graph(n, density, seed)
+    baseline_graph = spec.build()
     if kind == "mst":
         baseline_messages = GHSBuildMST(baseline_graph).run().messages
         baseline_name = "ghs"

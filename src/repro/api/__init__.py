@@ -1,0 +1,51 @@
+"""The unified runner API: specs, registry, results and the experiment engine.
+
+This package is the one public surface for *running* algorithms:
+
+* :class:`~repro.api.spec.GraphSpec` — a serialisable graph description and
+  the single source of graph construction (density profiles, weight models);
+* the algorithm registry (:func:`register`, :func:`get_runner`,
+  :func:`list_algorithms`) with the :class:`AlgorithmRunner` protocol and the
+  :func:`run` facade;
+* :class:`~repro.api.result.RunResult` — the uniform, JSON-round-trippable
+  outcome every runner returns;
+* :class:`~repro.api.engine.ExperimentEngine` — deterministic serial or
+  process-parallel execution of ``(algorithm, spec)`` job lists.
+
+>>> from repro.api import GraphSpec, run
+>>> run("kkt-mst", GraphSpec(nodes=32, density="sparse", seed=7)).ok
+True
+"""
+
+from .engine import ExperimentEngine, ExperimentJob, derive_seed
+from .registry import (
+    AlgorithmRunner,
+    algorithm_summaries,
+    get_runner,
+    list_algorithms,
+    register,
+    run,
+)
+from .result import RunResult
+from .spec import DENSITY_PROFILES, WEIGHT_MODELS, GraphSpec, edge_budget
+
+# Importing the adapters registers the built-in algorithms.
+from . import runners  # noqa: E402  (must come after registry)
+
+__all__ = [
+    "AlgorithmRunner",
+    "DENSITY_PROFILES",
+    "ExperimentEngine",
+    "ExperimentJob",
+    "GraphSpec",
+    "RunResult",
+    "WEIGHT_MODELS",
+    "algorithm_summaries",
+    "derive_seed",
+    "edge_budget",
+    "get_runner",
+    "list_algorithms",
+    "register",
+    "run",
+    "runners",
+]

@@ -1,0 +1,105 @@
+"""The algorithm registry: one namespace for every runnable algorithm.
+
+Algorithms register themselves under a short, stable name (``kkt-mst``,
+``ghs``, ``flooding``, ...) via the :func:`register` class decorator; callers
+look them up with :func:`get_runner` / :func:`list_algorithms` and execute
+them with the :func:`run` facade.  Every runner satisfies the
+:class:`AlgorithmRunner` protocol, so the CLI, the experiment engine and the
+benchmarks dispatch uniformly instead of special-casing each entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Type, runtime_checkable
+
+from ..network.errors import AlgorithmError
+from .result import RunResult
+from .spec import GraphSpec
+
+__all__ = [
+    "AlgorithmRunner",
+    "register",
+    "get_runner",
+    "list_algorithms",
+    "algorithm_summaries",
+    "run",
+]
+
+
+@runtime_checkable
+class AlgorithmRunner(Protocol):
+    """What the registry requires of a runnable algorithm.
+
+    ``name`` and ``summary`` are class attributes filled in by
+    :func:`register`; ``run`` builds the spec's graph, executes the
+    algorithm and returns a :class:`~repro.api.result.RunResult`.
+    """
+
+    name: str
+    summary: str
+
+    def run(self, spec: GraphSpec, **options: object) -> RunResult:
+        ...
+
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register(name: str, summary: str = "") -> Callable[[Type], Type]:
+    """Class decorator: publish a runner class under ``name``.
+
+    >>> @register("kkt-mst", summary="KKT Build-MST (Theorem 1.1)")
+    ... class KKTMSTRunner: ...
+    """
+    if not name or name != name.strip().lower():
+        raise AlgorithmError(f"algorithm names must be non-empty lowercase, got {name!r}")
+
+    def decorate(cls: Type) -> Type:
+        if name in _REGISTRY and _REGISTRY[name] is not cls:
+            raise AlgorithmError(f"algorithm {name!r} is already registered")
+        cls.name = name
+        doc_lines = (cls.__doc__ or "").strip().splitlines()
+        cls.summary = summary or (doc_lines[0] if doc_lines else name)
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_runner(name: str) -> AlgorithmRunner:
+    """Instantiate the runner registered under ``name``.
+
+    Raises :class:`~repro.network.errors.AlgorithmError` with the list of
+    known algorithms when the name is unknown.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(list_algorithms()) or "<none>"
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; registered algorithms: {known}"
+        ) from None
+    return cls()
+
+
+def list_algorithms() -> List[str]:
+    """The registered algorithm names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def algorithm_summaries() -> Dict[str, str]:
+    """Name -> one-line summary for every registered algorithm."""
+    return {name: _REGISTRY[name].summary for name in list_algorithms()}
+
+
+def run(algorithm: str, spec: GraphSpec, **options: object) -> RunResult:
+    """Run a registered algorithm on a graph spec and return its result.
+
+    The uniform entry point behind the CLI and the experiment engine:
+
+    >>> from repro import GraphSpec, run
+    >>> result = run("kkt-mst", GraphSpec(nodes=96, density="complete", seed=7))
+    >>> result.ok
+    True
+    """
+    return get_runner(algorithm).run(spec, **options)

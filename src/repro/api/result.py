@@ -1,0 +1,113 @@
+"""`RunResult`: the uniform, JSON-round-trippable outcome of any algorithm.
+
+Before the registry every entry point returned its own shape —
+:class:`~repro.core.build_mst.BuildReport`, bespoke GHS classes, bare
+``(forest, accountant)`` tuples — and every consumer re-extracted the
+counters it cared about.  :class:`RunResult` is the one record they all
+produce now: algorithm name, the :class:`~repro.api.spec.GraphSpec` that
+built the input, the cost counters the paper bounds (messages / bits /
+rounds / phases), wall time, and the validity checks that were run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from ..network.errors import AlgorithmError
+from .spec import GraphSpec
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome and cost of one algorithm run on one graph spec."""
+
+    algorithm: str
+    spec: GraphSpec
+    n: int
+    m: int
+    messages: int
+    bits: int
+    rounds: int
+    phases: int
+    wall_time_s: float
+    checks: Dict[str, bool] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def ok(self) -> bool:
+        """Did every validity check pass?"""
+        return all(self.checks.values())
+
+    @property
+    def messages_per_edge(self) -> float:
+        return self.messages / max(self.m, 1)
+
+    def counters(self) -> Dict[str, int]:
+        """The deterministic cost counters (excludes wall time)."""
+        return {
+            "messages": self.messages,
+            "bits": self.bits,
+            "rounds": self.rounds,
+            "phases": self.phases,
+        }
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "spec": self.spec.to_dict(),
+            "n": self.n,
+            "m": self.m,
+            "messages": self.messages,
+            "bits": self.bits,
+            "rounds": self.rounds,
+            "phases": self.phases,
+            "wall_time_s": self.wall_time_s,
+            "checks": dict(self.checks),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
+        required = {
+            "algorithm", "spec", "n", "m", "messages", "bits", "rounds",
+            "phases", "wall_time_s",
+        }
+        missing = required - set(payload)
+        if missing:
+            raise AlgorithmError(f"RunResult payload missing fields: {sorted(missing)}")
+        return cls(
+            algorithm=payload["algorithm"],
+            spec=GraphSpec.from_dict(payload["spec"]),
+            n=payload["n"],
+            m=payload["m"],
+            messages=payload["messages"],
+            bits=payload["bits"],
+            rounds=payload["rounds"],
+            phases=payload["phases"],
+            wall_time_s=payload["wall_time_s"],
+            checks=dict(payload.get("checks", {})),
+            extra=dict(payload.get("extra", {})),
+        )
+
+    def to_json(self, indent: int = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise AlgorithmError(f"invalid RunResult JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise AlgorithmError("RunResult JSON must be an object")
+        return cls.from_dict(payload)

@@ -1,0 +1,298 @@
+"""Registry adapters wrapping the existing algorithm implementations.
+
+Each runner is a thin adapter: it builds the graph from a
+:class:`~repro.api.spec.GraphSpec`, drives the underlying implementation
+(KKT Build-MST/ST, GHS, flooding, impromptu repair, recompute-from-scratch),
+runs the relevant validity checks and packs everything into a uniform
+:class:`~repro.api.result.RunResult`.  The implementations themselves are
+untouched — the adapters only translate shapes.
+
+Registered names
+----------------
+``kkt-mst``, ``kkt-st``
+    The paper's constructions (Theorem 1.1).
+``ghs``, ``flooding``
+    The classic baselines the paper improves on.
+``kkt-repair``, ``recompute-repair``
+    Impromptu repair under a churn workload vs. rebuilding from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..baselines.flooding_st import flooding_spanning_tree
+from ..baselines.ghs import GHSBuildMST
+from ..baselines.recompute_repair import RecomputeMaintainer
+from ..core.build_mst import BuildMST, BuildReport
+from ..core.build_st import BuildST
+from ..core.config import AlgorithmConfig
+from ..dynamic import TreeMaintainer, UpdateKind, random_churn, tree_edge_deletions
+from ..network.errors import AlgorithmError
+from ..network.graph import Graph
+from ..verify import is_minimum_spanning_forest, is_spanning_forest
+from .registry import register
+from .result import RunResult
+from .spec import GraphSpec
+
+__all__ = [
+    "KKTMSTRunner",
+    "KKTSTRunner",
+    "GHSRunner",
+    "FloodingRunner",
+    "KKTRepairRunner",
+    "RecomputeRepairRunner",
+]
+
+
+def _result(
+    algorithm: str,
+    spec: GraphSpec,
+    graph: Graph,
+    messages: int,
+    bits: int,
+    rounds: int,
+    phases: int,
+    wall_time_s: float,
+    checks: Dict[str, bool],
+    extra: Optional[Dict[str, Any]] = None,
+) -> RunResult:
+    return RunResult(
+        algorithm=algorithm,
+        spec=spec,
+        n=graph.num_nodes,
+        m=graph.num_edges,
+        messages=messages,
+        bits=bits,
+        rounds=rounds,
+        phases=phases,
+        wall_time_s=wall_time_s,
+        checks=checks,
+        extra=extra or {},
+    )
+
+
+class _KKTConstructionRunner:
+    """Shared adapter for the two KKT constructions."""
+
+    _builder_cls = BuildMST
+    _check_minimum = True
+
+    def build_report(
+        self,
+        graph: Graph,
+        seed: Optional[int] = None,
+        c: float = 1.0,
+        phase_policy: str = "adaptive",
+    ) -> BuildReport:
+        """Run on an existing graph, returning the raw :class:`BuildReport`.
+
+        This is what the ``repro.build_mst`` / ``repro.build_st``
+        compatibility shims delegate to.
+        """
+        config = AlgorithmConfig(
+            n=max(graph.num_nodes, 1), c=c, seed=seed, phase_policy=phase_policy
+        )
+        return self._builder_cls(graph, config=config).run()
+
+    def run(
+        self,
+        spec: GraphSpec,
+        c: float = 1.0,
+        phase_policy: str = "adaptive",
+    ) -> RunResult:
+        graph = spec.build()
+        start = time.perf_counter()
+        report = self.build_report(graph, seed=spec.seed, c=c, phase_policy=phase_policy)
+        elapsed = time.perf_counter() - start
+        checks = {"spanning": is_spanning_forest(report.forest)}
+        if self._check_minimum:
+            checks["minimum"] = is_minimum_spanning_forest(report.forest)
+        return _result(
+            self.name,
+            spec,
+            graph,
+            messages=report.messages,
+            bits=report.bits,
+            rounds=report.rounds_parallel,
+            phases=report.phases,
+            wall_time_s=elapsed,
+            checks=checks,
+            extra={
+                "broadcast_echoes": report.broadcast_echoes,
+                "phase_policy": phase_policy,
+                "c": c,
+            },
+        )
+
+
+@register("kkt-mst", summary="KKT Build-MST: o(m)-message MST construction (Theorem 1.1)")
+class KKTMSTRunner(_KKTConstructionRunner):
+    """KKT Build-MST: o(m)-message MST construction (Theorem 1.1)."""
+
+    _builder_cls = BuildMST
+    _check_minimum = True
+
+
+@register("kkt-st", summary="KKT Build-ST: o(m)-message spanning-tree construction")
+class KKTSTRunner(_KKTConstructionRunner):
+    """KKT Build-ST: o(m)-message spanning-tree construction."""
+
+    _builder_cls = BuildST
+    _check_minimum = False
+
+
+@register("ghs", summary="GHS baseline: classic distributed MST, Theta(m + n log n) messages")
+class GHSRunner:
+    """GHS baseline: classic distributed MST with Θ(m + n log n) messages."""
+
+    def run(self, spec: GraphSpec, max_phases: Optional[int] = None) -> RunResult:
+        graph = spec.build()
+        start = time.perf_counter()
+        report = GHSBuildMST(graph, max_phases=max_phases).run()
+        elapsed = time.perf_counter() - start
+        checks = {
+            "spanning": is_spanning_forest(report.forest),
+            "minimum": is_minimum_spanning_forest(report.forest),
+        }
+        return _result(
+            self.name,
+            spec,
+            graph,
+            messages=report.messages,
+            bits=report.bits,
+            rounds=report.rounds_parallel,
+            phases=report.phases,
+            wall_time_s=elapsed,
+            checks=checks,
+        )
+
+
+@register("flooding", summary="Flooding baseline: Theta(m)-message broadcast-tree construction")
+class FloodingRunner:
+    """Flooding baseline: Θ(m)-message broadcast-tree construction."""
+
+    def run(self, spec: GraphSpec, engine: str = "sync") -> RunResult:
+        graph = spec.build()
+        start = time.perf_counter()
+        forest, acct = flooding_spanning_tree(graph, engine=engine)
+        elapsed = time.perf_counter() - start
+        return _result(
+            self.name,
+            spec,
+            graph,
+            messages=acct.messages,
+            bits=acct.bits,
+            rounds=acct.rounds,
+            phases=len(acct.phases),
+            wall_time_s=elapsed,
+            checks={"spanning": is_spanning_forest(forest)},
+            extra={"engine": engine},
+        )
+
+
+def _churn_stream(graph, forest, updates: int, seed: Optional[int]):
+    """The standard repair workload: tree-edge deletions plus random churn."""
+    deletions = max(updates // 2, 1)
+    stream = tree_edge_deletions(graph, forest, count=deletions, seed=seed)
+    churn_seed = None if seed is None else seed + 1
+    remaining = max(updates - len(stream), 0)
+    if remaining:
+        stream.extend(random_churn(graph, count=remaining, seed=churn_seed))
+    return stream
+
+
+@register("kkt-repair", summary="KKT impromptu repair of an MST/ST under a churn workload")
+class KKTRepairRunner:
+    """KKT impromptu repair: maintain an MST/ST through a churn workload."""
+
+    _mode_default = "mst"
+
+    def run(self, spec: GraphSpec, updates: int = 10, mode: Optional[str] = None) -> RunResult:
+        mode = mode or self._mode_default
+        if mode not in ("mst", "st"):
+            raise AlgorithmError("mode must be 'mst' or 'st'")
+        graph = spec.build()
+        config = AlgorithmConfig(n=graph.num_nodes, seed=spec.seed)
+        builder = BuildMST(graph, config=config) if mode == "mst" else BuildST(graph, config=config)
+        build_report = builder.run()
+
+        start = time.perf_counter()
+        maintainer = TreeMaintainer(
+            graph, build_report.forest, mode=mode, seed=spec.seed
+        )
+        stream = _churn_stream(graph, build_report.forest, updates, spec.seed)
+        outcomes = maintainer.apply_stream(stream)
+        elapsed = time.perf_counter() - start
+
+        checker = is_minimum_spanning_forest if mode == "mst" else is_spanning_forest
+        costs = maintainer.messages_per_update()
+        acct = maintainer.accountant
+        return _result(
+            self.name,
+            spec,
+            graph,
+            messages=acct.messages,
+            bits=acct.bits,
+            rounds=acct.rounds,
+            phases=len(outcomes),
+            wall_time_s=elapsed,
+            checks={"invariant": checker(build_report.forest)},
+            extra={
+                "mode": mode,
+                "updates": len(outcomes),
+                "build_messages": build_report.messages,
+                "messages_per_update_max": max(costs) if costs else 0,
+                "messages_per_update_mean": (sum(costs) / len(costs)) if costs else 0.0,
+            },
+        )
+
+
+@register("recompute-repair", summary="Recompute baseline: rebuild the tree from scratch per update")
+class RecomputeRepairRunner:
+    """Recompute baseline: rebuild the MST/ST from scratch after every update."""
+
+    def run(self, spec: GraphSpec, updates: int = 10, mode: Optional[str] = None) -> RunResult:
+        mode = mode or "mst"
+        if mode not in ("mst", "st"):
+            raise AlgorithmError("mode must be 'mst' or 'st'")
+        graph = spec.build()
+        # The workload is defined against the initial tree, exactly as for
+        # ``kkt-repair``, so the two runners process the same stream.
+        config = AlgorithmConfig(n=graph.num_nodes, seed=spec.seed)
+        initial = BuildMST(graph, config=config) if mode == "mst" else BuildST(graph, config=config)
+        stream = _churn_stream(graph, initial.run().forest, updates, spec.seed)
+
+        baseline_graph = spec.build()
+        start = time.perf_counter()
+        maintainer = RecomputeMaintainer(baseline_graph, mode=mode)
+        deltas = []
+        for update in stream:
+            if update.kind is UpdateKind.DELETE:
+                deltas.append(maintainer.delete_edge(update.u, update.v))
+            elif update.kind is UpdateKind.INSERT:
+                deltas.append(maintainer.insert_edge(update.u, update.v, update.weight or 1))
+            else:
+                deltas.append(maintainer.change_weight(update.u, update.v, update.weight or 1))
+        elapsed = time.perf_counter() - start
+
+        checker = is_minimum_spanning_forest if mode == "mst" else is_spanning_forest
+        costs = [delta.messages for delta in deltas]
+        return _result(
+            self.name,
+            spec,
+            baseline_graph,
+            messages=sum(costs),
+            bits=sum(delta.bits for delta in deltas),
+            rounds=sum(delta.rounds for delta in deltas),
+            phases=len(deltas),
+            wall_time_s=elapsed,
+            checks={"invariant": checker(maintainer.forest)},
+            extra={
+                "mode": mode,
+                "updates": len(deltas),
+                "messages_per_update_max": max(costs) if costs else 0,
+                "messages_per_update_mean": (sum(costs) / len(costs)) if costs else 0.0,
+            },
+        )

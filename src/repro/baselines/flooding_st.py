@@ -11,6 +11,10 @@ The protocol is implemented as genuine per-node handlers and can be run on
 either engine; under the synchronous engine it also yields a BFS tree, under
 an adversarial asynchronous schedule an arbitrary spanning tree — both are
 valid broadcast trees.
+
+Registered in the runner API as ``flooding`` — ``repro.run("flooding",
+spec)`` wraps :func:`flooding_spanning_tree` in a uniform
+:class:`~repro.api.result.RunResult`.
 """
 
 from __future__ import annotations

@@ -1,5 +1,8 @@
 """The GHS baseline: classic distributed MST with Θ(m + n log n) messages.
 
+Registered in the runner API as ``ghs`` — ``repro.run("ghs", spec)`` wraps
+:class:`GHSBuildMST` in a uniform :class:`~repro.api.result.RunResult`.
+
 Gallager, Humblet and Spira's 1983 algorithm (and Awerbuch's 1987 refinement)
 was the message-complexity state of the art that the paper improves on.  We
 implement the *controlled* (synchronous, phase-aligned) variant at the same

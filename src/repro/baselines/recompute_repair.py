@@ -5,6 +5,10 @@ correct under edge updates is to rebuild it from scratch (flooding for an ST,
 GHS for an MST) whenever an update might have changed it.  The per-update
 message cost is then Θ(m) / Θ(m + n log n) — this is the baseline the
 dynamic-workload benchmark (E11) compares the impromptu repairs against.
+
+Registered in the runner API as ``recompute-repair`` —
+``repro.run("recompute-repair", spec, updates=...)`` drives a
+:class:`RecomputeMaintainer` through the standard churn workload.
 """
 
 from __future__ import annotations

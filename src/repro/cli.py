@@ -1,52 +1,77 @@
-"""Command-line interface: ``python -m repro <command> ...``.
+"""Command-line interface: ``python -m repro <command> ...`` (or ``repro ...``).
 
-The CLI exposes the library's main entry points without writing any Python:
+The CLI is built on the unified runner API (:mod:`repro.api`): every
+algorithm in the registry is runnable by name, results are uniform
+:class:`~repro.api.result.RunResult` records, and sweeps fan out across
+worker processes.
 
-* ``build-mst`` / ``build-st`` — construct a tree on a generated graph and
-  print the cost report next to the relevant baseline;
+* ``run <algorithm>`` — run any registered algorithm on a generated graph;
+* ``compare <algo> <algo> ...`` — head-to-head on the *same* graph spec;
+* ``sweep`` — size sweep; ``--algorithms ... --jobs N`` runs the registry
+  grid in parallel, the legacy ``--kind`` form prints the normalised table;
+* ``algorithms`` — list the registry;
+* ``build-mst`` / ``build-st`` — construct a tree and print the cost report
+  next to the relevant baseline;
 * ``repair`` — build an MST/ST, apply a churn workload impromptu and print
   per-update costs;
-* ``sweep`` — run a size sweep of a construction and print the normalised
-  table (a lightweight version of the benchmark harness);
-* ``selfcheck`` — run a quick end-to-end correctness pass (useful after an
-  installation).
+* ``selfcheck`` — run a quick end-to-end correctness pass.
+
+``--json`` (on ``run``, ``compare`` and ``sweep``) emits one ``RunResult``
+JSON record per line, which is what the benchmark harness consumes.
 
 Examples
 --------
 ::
 
-    python -m repro build-mst --nodes 96 --density complete --seed 7
+    python -m repro run kkt-mst --nodes 96 --density complete --seed 7
+    python -m repro compare kkt-mst ghs --nodes 64 --seed 1
+    python -m repro sweep --algorithms kkt-st flooding --sizes 32 64 96 --jobs 4 --json
     python -m repro repair --nodes 64 --updates 10 --mode mst
-    python -m repro sweep --kind st --sizes 32 64 96 --density complete
     python -m repro selfcheck
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis import ExperimentTable, run_construction_measurement, summarize
+from .api import (
+    DENSITY_PROFILES,
+    ExperimentEngine,
+    GraphSpec,
+    RunResult,
+    algorithm_summaries,
+    get_runner,
+    run as run_algorithm,
+)
 from .baselines import RecomputeMaintainer
 from .core.build_mst import BuildMST
 from .core.build_st import BuildST
 from .core.config import AlgorithmConfig
 from .dynamic import TreeMaintainer, UpdateKind, random_churn, tree_edge_deletions
-from .generators import complete_graph, random_connected_graph
-from .network.graph import Graph
+from .network.errors import AlgorithmError
 from .verify import is_minimum_spanning_forest, is_spanning_forest
 
 __all__ = ["main", "build_parser"]
+
+_DENSITY_CHOICES = sorted(DENSITY_PROFILES)
 
 
 # ---------------------------------------------------------------------- #
 # argument parsing
 # ---------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="King-Kutten-Thorup (PODC 2015) MST construction and impromptu repair",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -54,13 +79,33 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--nodes", "-n", type=int, default=64, help="number of nodes")
         sub.add_argument(
             "--density",
-            choices=["sparse", "medium", "dense", "complete"],
+            choices=_DENSITY_CHOICES,
             default="dense",
             help="edge-density profile",
         )
         sub.add_argument("--seed", type=int, default=2015, help="random seed")
         sub.add_argument("--error-exponent", "-c", type=float, default=1.0,
                          help="success probability exponent c (failure <= n^-c)")
+
+    run_cmd = subparsers.add_parser(
+        "run", help="run any registered algorithm on a generated graph"
+    )
+    run_cmd.add_argument("algorithm", help="a registered algorithm name (see `algorithms`)")
+    add_graph_arguments(run_cmd)
+    run_cmd.add_argument("--updates", type=int, default=10,
+                         help="churn-workload length (repair algorithms only)")
+    run_cmd.add_argument("--json", action="store_true", help="emit the RunResult as JSON")
+
+    compare = subparsers.add_parser(
+        "compare", help="run several algorithms head-to-head on the same graph spec"
+    )
+    compare.add_argument("algorithms", nargs="+", metavar="algorithm")
+    add_graph_arguments(compare)
+    compare.add_argument("--jobs", type=int, default=1, help="worker processes")
+    compare.add_argument("--json", action="store_true",
+                         help="emit one RunResult JSON record per line")
+
+    subparsers.add_parser("algorithms", help="list the registered algorithms")
 
     for kind in ("mst", "st"):
         sub = subparsers.add_parser(
@@ -76,28 +121,105 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run the recompute-from-scratch baseline")
 
     sweep = subparsers.add_parser("sweep", help="size sweep of a construction")
-    sweep.add_argument("--kind", choices=["mst", "st"], default="st")
+    sweep.add_argument("--kind", choices=["mst", "st"], default="st",
+                       help="legacy construction selector (ignored with --algorithms)")
+    sweep.add_argument("--algorithms", nargs="+", metavar="algorithm",
+                       help="registry algorithms to sweep (enables the parallel engine)")
     sweep.add_argument("--sizes", type=int, nargs="+", default=[32, 64, 96])
     sweep.add_argument(
         "--density",
-        choices=["sparse", "medium", "dense", "complete"],
+        choices=_DENSITY_CHOICES,
         default="complete",
     )
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit one RunResult JSON record per line")
 
     subparsers.add_parser("selfcheck", help="quick end-to-end correctness pass")
     return parser
 
 
 # ---------------------------------------------------------------------- #
+# result rendering
+# ---------------------------------------------------------------------- #
+def _print_results_json(results: Sequence[RunResult]) -> None:
+    for result in results:
+        print(result.to_json())
+
+
+def _print_results_table(title: str, results: Sequence[RunResult]) -> None:
+    table = ExperimentTable(
+        "results", title, ["algorithm", "n", "m", "msgs", "msgs/m", "bits", "rounds", "phases", "ok"]
+    )
+    for result in results:
+        table.add_row(
+            result.algorithm,
+            result.n,
+            result.m,
+            result.messages,
+            round(result.messages_per_edge, 3),
+            result.bits,
+            result.rounds,
+            result.phases,
+            result.ok,
+        )
+    print(table.render())
+
+
+def _spec_from_args(args: argparse.Namespace) -> GraphSpec:
+    return GraphSpec(nodes=args.nodes, density=args.density, seed=args.seed)
+
+
+# ---------------------------------------------------------------------- #
 # commands
 # ---------------------------------------------------------------------- #
-def _make_graph(n: int, density: str, seed: int) -> Graph:
-    if density == "complete":
-        return complete_graph(n, seed=seed)
-    edges = {"sparse": 3 * n, "medium": int(n ** 1.5), "dense": n * (n - 1) // 4}[density]
-    edges = min(max(edges, n - 1), n * (n - 1) // 2)
-    return random_connected_graph(n, edges, seed=seed)
+def _runner_options(runner, args: argparse.Namespace) -> dict:
+    """Forward the CLI's per-algorithm flags to runners that accept them.
+
+    Routing is by the runner's own ``run`` signature, so algorithms
+    registered outside this package pick up the flags too.
+    """
+    candidates = {"c": args.error_exponent, "updates": getattr(args, "updates", None)}
+    accepted = inspect.signature(runner.run).parameters
+    return {
+        key: value
+        for key, value in candidates.items()
+        if key in accepted and value is not None
+    }
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    runner = get_runner(args.algorithm)
+    result = runner.run(spec, **_runner_options(runner, args))
+    if args.json:
+        _print_results_json([result])
+    else:
+        _print_results_table(f"{args.algorithm} on a {args.density} graph", [result])
+    return 0 if result.ok else 1
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    engine = ExperimentEngine(jobs=args.jobs, base_seed=args.seed)
+    results = engine.compare(args.algorithms, spec)
+    if args.json:
+        _print_results_json(results)
+    else:
+        _print_results_table(
+            f"Head-to-head on a {args.density} graph (n={args.nodes}, seed={args.seed})",
+            results,
+        )
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _command_algorithms(_args: argparse.Namespace) -> int:
+    table = ExperimentTable("registry", "Registered algorithms", ["name", "summary"])
+    for name, summary in algorithm_summaries().items():
+        table.add_row(name, summary)
+    print(table.render())
+    return 0
 
 
 def _command_build(kind: str, args: argparse.Namespace) -> int:
@@ -121,7 +243,7 @@ def _command_build(kind: str, args: argparse.Namespace) -> int:
 
 
 def _command_repair(args: argparse.Namespace) -> int:
-    graph = _make_graph(args.nodes, args.density, args.seed)
+    graph = GraphSpec(nodes=args.nodes, density=args.density, seed=args.seed).build()
     config = AlgorithmConfig(n=args.nodes, seed=args.seed, c=args.error_exponent)
     builder = BuildMST(graph, config=config) if args.mode == "mst" else BuildST(graph, config=config)
     report = builder.run()
@@ -146,7 +268,9 @@ def _command_repair(args: argparse.Namespace) -> int:
     table.add_row("messages per update (median)", round(stats.median, 1))
     table.add_row("messages per update (max)", round(stats.maximum, 1))
     if args.compare_recompute:
-        baseline_graph = _make_graph(args.nodes, args.density, args.seed)
+        baseline_graph = GraphSpec(
+            nodes=args.nodes, density=args.density, seed=args.seed
+        ).build()
         baseline = RecomputeMaintainer(baseline_graph, mode=args.mode)
         baseline_costs = []
         for update in stream:
@@ -166,6 +290,25 @@ def _command_repair(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    if not args.algorithms and (args.json or args.jobs != 1):
+        raise AlgorithmError(
+            "--json and --jobs require --algorithms (the legacy --kind sweep "
+            "prints a normalised table serially)"
+        )
+    if args.algorithms:
+        engine = ExperimentEngine(jobs=args.jobs, base_seed=args.seed)
+        results = engine.sweep(
+            args.algorithms, args.sizes, density=args.density, seed=args.seed
+        )
+        if args.json:
+            _print_results_json(results)
+        else:
+            _print_results_table(
+                f"Sweep over {args.density} graphs (seed={args.seed}, jobs={args.jobs})",
+                results,
+            )
+        return 0 if all(result.ok for result in results) else 1
+
     bound = "n_log2_n_over_loglog_n" if args.kind == "mst" else "n_log_n"
     table = ExperimentTable(
         "sweep",
@@ -190,40 +333,46 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_selfcheck(_args: argparse.Namespace) -> int:
-    graph = random_connected_graph(32, 120, seed=3)
-    mst = BuildMST(graph, config=AlgorithmConfig(n=32, seed=3)).run()
-    ok_mst = is_minimum_spanning_forest(mst.forest)
-
-    st_graph = random_connected_graph(32, 120, seed=4)
-    st = BuildST(st_graph, config=AlgorithmConfig(n=32, seed=4)).run()
-    ok_st = is_spanning_forest(st.forest)
-
-    maintainer = TreeMaintainer(graph, mst.forest, mode="mst", seed=5)
-    stream = tree_edge_deletions(graph, mst.forest, count=3, seed=5)
-    maintainer.apply_stream(stream)
-    ok_repair = is_minimum_spanning_forest(mst.forest)
-
-    for label, ok in (("build-mst", ok_mst), ("build-st", ok_st), ("repair", ok_repair)):
-        print(f"{label:10s} {'OK' if ok else 'FAILED'}")
-    return 0 if (ok_mst and ok_st and ok_repair) else 1
+    checks = (
+        ("build-mst", "kkt-mst", {}),
+        ("build-st", "kkt-st", {}),
+        ("repair", "kkt-repair", {"updates": 6}),
+    )
+    all_ok = True
+    for label, algorithm, options in checks:
+        result = run_algorithm(
+            algorithm, GraphSpec(nodes=32, density="sparse", seed=3), **options
+        )
+        all_ok = all_ok and result.ok
+        print(f"{label:10s} {'OK' if result.ok else 'FAILED'}")
+    return 0 if all_ok else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "run": _command_run,
+        "compare": _command_compare,
+        "algorithms": _command_algorithms,
+        "repair": _command_repair,
+        "sweep": _command_sweep,
+        "selfcheck": _command_selfcheck,
+    }
     if args.command == "build-mst":
         return _command_build("mst", args)
     if args.command == "build-st":
         return _command_build("st", args)
-    if args.command == "repair":
-        return _command_repair(args)
-    if args.command == "sweep":
-        return _command_sweep(args)
-    if args.command == "selfcheck":
-        return _command_selfcheck(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    handler = handlers.get(args.command)
+    if handler is None:  # pragma: no cover
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return handler(args)
+    except AlgorithmError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,132 @@
+"""Tests for the registry-backed CLI commands (`run`, `compare`, `sweep --algorithms`)."""
+
+import json
+
+import pytest
+
+import repro
+from repro.api import RunResult
+from repro.cli import build_parser, main
+
+
+def parse_json_lines(out):
+    return [RunResult.from_json(line) for line in out.strip().splitlines()]
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_table(self, capsys):
+        code = main(["run", "kkt-mst", "--nodes", "20", "--density", "sparse", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kkt-mst" in out
+
+    def test_run_json(self, capsys):
+        code = main(
+            ["run", "kkt-st", "--nodes", "20", "--density", "sparse", "--seed", "3", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        (result,) = parse_json_lines(out)
+        assert result.algorithm == "kkt-st"
+        assert result.n == 20
+        assert result.spec.seed == 3
+        assert result.ok
+
+    def test_run_repair_algorithm(self, capsys):
+        code = main(
+            ["run", "kkt-repair", "--nodes", "16", "--density", "sparse",
+             "--seed", "5", "--updates", "4", "--json"]
+        )
+        assert code == 0
+        (result,) = parse_json_lines(capsys.readouterr().out)
+        assert result.extra["updates"] == 4
+
+    def test_run_unknown_algorithm(self, capsys):
+        code = main(["run", "dijkstra", "--nodes", "16"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "dijkstra" in captured.err
+        assert "kkt-mst" in captured.err
+
+
+class TestCompareCommand:
+    def test_compare_json(self, capsys):
+        code = main(
+            ["compare", "kkt-st", "flooding", "--nodes", "20", "--density", "sparse",
+             "--seed", "2", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        results = parse_json_lines(out)
+        assert [r.algorithm for r in results] == ["kkt-st", "flooding"]
+        assert results[0].spec == results[1].spec
+
+
+class TestAlgorithmsCommand:
+    def test_lists_registry(self, capsys):
+        code = main(["algorithms"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("kkt-mst", "kkt-st", "ghs", "flooding", "kkt-repair", "recompute-repair"):
+            assert name in out
+
+
+class TestSweepCommand:
+    def test_parser_accepts_engine_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--algorithms", "kkt-st", "flooding", "--sizes", "16", "24",
+             "--jobs", "4", "--json"]
+        )
+        assert args.algorithms == ["kkt-st", "flooding"]
+        assert args.jobs == 4
+        assert args.json
+
+    def test_sweep_algorithms_json(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "kkt-st", "flooding", "--sizes", "12", "16",
+             "--density", "sparse", "--seed", "2", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        results = parse_json_lines(out)
+        assert [(r.algorithm, r.n) for r in results] == [
+            ("kkt-st", 12), ("flooding", 12), ("kkt-st", 16), ("flooding", 16),
+        ]
+
+    def test_sweep_parallel_counters_match_serial(self, capsys):
+        argv = ["sweep", "--algorithms", "kkt-st", "flooding", "--sizes", "12", "16",
+                "--density", "sparse", "--seed", "2", "--json"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def strip_wall_time(out):
+            records = [json.loads(line) for line in out.strip().splitlines()]
+            for record in records:
+                record.pop("wall_time_s")
+            return records
+
+        assert strip_wall_time(parallel) == strip_wall_time(serial)
+
+    def test_legacy_kind_sweep_still_works(self, capsys):
+        code = main(
+            ["sweep", "--kind", "st", "--sizes", "16", "--density", "sparse", "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Build-ST sweep" in out
+
+    def test_legacy_sweep_rejects_engine_flags(self, capsys):
+        code = main(["sweep", "--kind", "st", "--sizes", "16", "--json"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--algorithms" in captured.err

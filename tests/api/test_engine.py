@@ -1,0 +1,109 @@
+"""Tests for the parallel experiment engine and its determinism guarantees."""
+
+import pytest
+
+from repro.api import ExperimentEngine, ExperimentJob, GraphSpec, derive_seed
+from repro.network.errors import AlgorithmError
+
+
+def counters(results):
+    return [(r.algorithm, r.spec, r.counters(), r.checks) for r in results]
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(2015, 0) == derive_seed(2015, 0)
+
+    def test_spreads_over_index_and_base(self):
+        seeds = {derive_seed(2015, i) for i in range(64)}
+        assert len(seeds) == 64
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+
+class TestJobConstruction:
+    def test_seeded_fills_missing_seeds_deterministically(self):
+        engine = ExperimentEngine(base_seed=7)
+        jobs = [
+            ExperimentJob("flooding", GraphSpec(nodes=8, density="sparse")),
+            ExperimentJob("flooding", GraphSpec(nodes=8, density="sparse", seed=99)),
+            ExperimentJob("flooding", GraphSpec(nodes=12, density="sparse")),
+        ]
+        seeded = engine.seeded(jobs)
+        assert seeded[0].spec.seed == derive_seed(7, 0)
+        assert seeded[1].spec.seed == 99
+        assert seeded[2].spec.seed == derive_seed(7, 1)
+        again = engine.seeded(jobs)
+        assert [job.spec for job in again] == [job.spec for job in seeded]
+
+    def test_seeded_fails_fast_on_unknown_algorithm(self):
+        engine = ExperimentEngine()
+        with pytest.raises(AlgorithmError):
+            engine.seeded([ExperimentJob("bogus", GraphSpec(nodes=8))])
+
+    def test_sweep_jobs_grid(self):
+        jobs = ExperimentEngine.sweep_jobs(
+            ["kkt-st", "flooding"], [16, 24], density="sparse", seed=1
+        )
+        assert [(job.algorithm, job.spec.nodes) for job in jobs] == [
+            ("kkt-st", 16), ("flooding", 16), ("kkt-st", 24), ("flooding", 24),
+        ]
+
+    def test_engine_validates_worker_count(self):
+        with pytest.raises(AlgorithmError):
+            ExperimentEngine(jobs=0)
+
+
+class TestExecution:
+    def test_serial_results_in_job_order(self):
+        engine = ExperimentEngine(jobs=1, base_seed=3)
+        results = engine.sweep(["flooding", "kkt-st"], [12, 16], density="sparse", seed=3)
+        assert [(r.algorithm, r.n) for r in results] == [
+            ("flooding", 12), ("kkt-st", 12), ("flooding", 16), ("kkt-st", 16),
+        ]
+        assert all(r.ok for r in results)
+
+    def test_parallel_matches_serial(self):
+        serial = ExperimentEngine(jobs=1, base_seed=5).sweep(
+            ["kkt-st", "flooding"], [12, 16], density="sparse", seed=2
+        )
+        parallel = ExperimentEngine(jobs=4, base_seed=5).sweep(
+            ["kkt-st", "flooding"], [12, 16], density="sparse", seed=2
+        )
+        assert counters(parallel) == counters(serial)
+
+    def test_parallel_derived_seeds_match_serial(self):
+        # No explicit seed: the engine must derive identical per-job seeds,
+        # and jobs sharing a spec must share a graph.
+        jobs = [
+            ExperimentJob("flooding", GraphSpec(nodes=10 + 2 * (i // 2), density="sparse"))
+            for i in range(4)
+        ]
+        serial = ExperimentEngine(jobs=1, base_seed=11).run(jobs)
+        parallel = ExperimentEngine(jobs=2, base_seed=11).run(jobs)
+        assert counters(parallel) == counters(serial)
+        expected = [derive_seed(11, 0), derive_seed(11, 0), derive_seed(11, 1), derive_seed(11, 1)]
+        assert [r.spec.seed for r in serial] == expected
+
+    def test_unseeded_compare_shares_one_graph(self):
+        # A head-to-head without an explicit seed must still compare on the
+        # SAME graph: all jobs share the unseeded spec, hence the seed.
+        results = ExperimentEngine(base_seed=9).compare(
+            ["kkt-mst", "ghs"], GraphSpec(nodes=16, density="sparse")
+        )
+        assert results[0].spec == results[1].spec
+        assert results[0].spec.seed == derive_seed(9, 0)
+        assert results[0].m == results[1].m
+
+    def test_compare_runs_same_spec(self):
+        spec = GraphSpec(nodes=16, density="sparse", seed=4)
+        results = ExperimentEngine().compare(["kkt-mst", "ghs"], spec)
+        assert [r.algorithm for r in results] == ["kkt-mst", "ghs"]
+        assert all(r.spec == spec for r in results)
+        assert all(r.ok for r in results)
+
+    def test_options_forwarded(self):
+        results = ExperimentEngine().run(
+            [ExperimentJob("kkt-repair", GraphSpec(nodes=16, density="sparse", seed=6),
+                           {"updates": 4})]
+        )
+        assert results[0].extra["updates"] == 4

@@ -1,0 +1,70 @@
+"""Tests for :class:`repro.api.result.RunResult` serialisation."""
+
+import json
+
+import pytest
+
+from repro.api import GraphSpec, RunResult
+from repro.network.errors import AlgorithmError
+
+
+def sample_result(**overrides):
+    payload = dict(
+        algorithm="kkt-mst",
+        spec=GraphSpec(nodes=24, density="sparse", seed=3),
+        n=24,
+        m=72,
+        messages=1234,
+        bits=56789,
+        rounds=310,
+        phases=3,
+        wall_time_s=0.125,
+        checks={"spanning": True, "minimum": True},
+        extra={"broadcast_echoes": 7},
+    )
+    payload.update(overrides)
+    return RunResult(**payload)
+
+
+class TestDerived:
+    def test_ok_requires_all_checks(self):
+        assert sample_result().ok
+        assert not sample_result(checks={"spanning": True, "minimum": False}).ok
+
+    def test_ok_with_no_checks(self):
+        assert sample_result(checks={}).ok
+
+    def test_messages_per_edge(self):
+        assert sample_result().messages_per_edge == pytest.approx(1234 / 72)
+
+    def test_counters_exclude_wall_time(self):
+        counters = sample_result().counters()
+        assert counters == {"messages": 1234, "bits": 56789, "rounds": 310, "phases": 3}
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_equality(self):
+        result = sample_result()
+        assert RunResult.from_json(result.to_json()) == result
+
+    def test_json_is_a_flat_object(self):
+        payload = json.loads(sample_result().to_json())
+        assert payload["algorithm"] == "kkt-mst"
+        assert payload["spec"]["nodes"] == 24
+        assert payload["checks"]["minimum"] is True
+
+    def test_dict_round_trip(self):
+        result = sample_result()
+        assert RunResult.from_dict(result.to_dict()) == result
+
+    def test_from_dict_missing_fields(self):
+        payload = sample_result().to_dict()
+        del payload["messages"]
+        with pytest.raises(AlgorithmError, match="missing"):
+            RunResult.from_dict(payload)
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(AlgorithmError):
+            RunResult.from_json("{not json")
+        with pytest.raises(AlgorithmError):
+            RunResult.from_json("[1, 2, 3]")

@@ -1,0 +1,103 @@
+"""Tests for :class:`repro.api.spec.GraphSpec` — the single graph source."""
+
+import pytest
+
+from repro.api.spec import DENSITY_PROFILES, WEIGHT_MODELS, GraphSpec, edge_budget
+from repro.network.errors import AlgorithmError
+
+
+class TestEdgeBudget:
+    def test_profiles_cover_cli_densities(self):
+        assert set(DENSITY_PROFILES) == {"sparse", "medium", "dense", "complete"}
+
+    @pytest.mark.parametrize("density", sorted(DENSITY_PROFILES))
+    def test_clamped_to_valid_range(self, density):
+        for n in (1, 2, 5, 40):
+            m = edge_budget(n, density)
+            assert max(n - 1, 0) <= m <= n * (n - 1) // 2
+
+    def test_complete_budget(self):
+        assert edge_budget(10, "complete") == 45
+
+    def test_sparse_budget_clamps_small_graphs(self):
+        # 3n exceeds n(n-1)/2 for small n; the clamp keeps it legal.
+        assert edge_budget(4, "sparse") == 6
+
+    def test_unknown_density(self):
+        with pytest.raises(AlgorithmError, match="density"):
+            edge_budget(10, "ultra")
+
+
+class TestGraphSpecValidation:
+    def test_rejects_empty_graph(self):
+        with pytest.raises(AlgorithmError):
+            GraphSpec(nodes=0)
+
+    def test_rejects_unknown_density(self):
+        with pytest.raises(AlgorithmError, match="density"):
+            GraphSpec(nodes=8, density="ultra")
+
+    def test_rejects_unknown_weight_model(self):
+        with pytest.raises(AlgorithmError, match="weight model"):
+            GraphSpec(nodes=8, weight_model="bogus")
+
+
+class TestGraphSpecBuild:
+    def test_builds_requested_size(self):
+        spec = GraphSpec(nodes=20, density="sparse", seed=3)
+        graph = spec.build()
+        assert graph.num_nodes == 20
+        assert graph.num_edges == spec.edges == edge_budget(20, "sparse")
+
+    def test_complete_density(self):
+        graph = GraphSpec(nodes=12, density="complete", seed=1).build()
+        assert graph.num_edges == 66
+
+    def test_same_seed_same_graph(self):
+        spec = GraphSpec(nodes=24, density="medium", seed=11)
+        a, b = spec.build(), spec.build()
+        assert {(e.u, e.v, e.weight) for e in a.edges()} == {
+            (e.u, e.v, e.weight) for e in b.edges()
+        }
+
+    def test_different_seeds_differ(self):
+        a = GraphSpec(nodes=24, density="medium", seed=11).build()
+        b = GraphSpec(nodes=24, density="medium", seed=12).build()
+        assert {(e.u, e.v, e.weight) for e in a.edges()} != {
+            (e.u, e.v, e.weight) for e in b.edges()
+        }
+
+    @pytest.mark.parametrize("model", WEIGHT_MODELS)
+    def test_weight_models_build(self, model):
+        graph = GraphSpec(nodes=16, density="sparse", seed=5, weight_model=model).build()
+        assert graph.num_nodes == 16
+        assert all(edge.weight >= 1 for edge in graph.edges())
+
+    def test_uniform_respects_max_weight(self):
+        spec = GraphSpec(
+            nodes=16, density="sparse", seed=5, weight_model="uniform", max_weight=7
+        )
+        assert all(1 <= edge.weight <= 7 for edge in spec.build().edges())
+
+
+class TestGraphSpecSerialisation:
+    def test_dict_round_trip(self):
+        spec = GraphSpec(nodes=32, density="complete", weight_model="uniform", seed=9)
+        assert GraphSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_defaults(self):
+        assert GraphSpec.from_dict({"nodes": 8}) == GraphSpec(nodes=8)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(AlgorithmError, match="unknown"):
+            GraphSpec.from_dict({"nodes": 8, "colour": "red"})
+
+    def test_from_dict_requires_nodes(self):
+        with pytest.raises(AlgorithmError, match="nodes"):
+            GraphSpec.from_dict({"density": "sparse"})
+
+    def test_with_seed(self):
+        spec = GraphSpec(nodes=8, density="sparse")
+        assert spec.seed is None
+        assert spec.with_seed(4).seed == 4
+        assert spec.with_seed(4).nodes == 8

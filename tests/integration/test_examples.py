@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs end to end with small parameters."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,14 +8,20 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 
 def _run(script: str, *args: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path for path in (str(SRC_DIR), env.get("PYTHONPATH")) if path
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
 
 
@@ -23,6 +30,12 @@ class TestExampleScripts:
         scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         assert "quickstart.py" in scripts
         assert len(scripts) >= 3
+
+    def test_registry_sweep(self):
+        result = _run("registry_sweep.py", "24", "2")
+        assert result.returncode == 0, result.stderr
+        assert "Registered algorithms" in result.stdout
+        assert "parallel counters identical to serial: True" in result.stdout
 
     def test_quickstart(self):
         result = _run("quickstart.py", "24", "80", "3")

@@ -37,6 +37,16 @@ class TestExports:
             "TreeRepairer",
             "build_mst",
             "build_st",
+            # unified runner API
+            "AlgorithmRunner",
+            "ExperimentEngine",
+            "ExperimentJob",
+            "GraphSpec",
+            "RunResult",
+            "get_runner",
+            "list_algorithms",
+            "register",
+            "run",
         ],
     )
     def test_top_level_names_exist(self, name):
@@ -45,7 +55,7 @@ class TestExports:
 
     @pytest.mark.parametrize(
         "subpackage",
-        ["analysis", "baselines", "core", "dynamic", "generators", "network", "verify"],
+        ["analysis", "api", "baselines", "core", "dynamic", "generators", "network", "verify"],
     )
     def test_subpackages_importable(self, subpackage):
         module = getattr(repro, subpackage)
@@ -92,6 +102,10 @@ class TestDocstrings:
             "TreeRepairer",
             "build_mst",
             "build_st",
+            "GraphSpec",
+            "RunResult",
+            "ExperimentEngine",
+            "run",
         ],
     )
     def test_public_objects_are_documented(self, obj_name):
