@@ -6,9 +6,11 @@ of large auxiliary state (Awerbuch-Cidon-Kutten 2008, Θ(Δ_v · n log n) bits
 per node).  The impromptu repairs need no auxiliary state and pay o(m) per
 update in the worst case.
 
-The sweep runs the same churn workload through the impromptu maintainer and
-through the recompute baseline and reports the per-update message costs and
-their ratio, plus the per-node persistent state (in words) each approach
+The sweep runs the same churn workload — the one registered in the scenario
+API (:mod:`repro.api.scenario`), so benchmarks, runners and the CLI all
+consume the identical stream definition — through the impromptu maintainer
+and through the recompute baseline and reports the per-update message costs
+and their ratio, plus the per-node persistent state (in words) each approach
 carries between updates.
 """
 
@@ -17,10 +19,11 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import summarize
+from repro.api.scenario import get_workload
 from repro.baselines.recompute_repair import RecomputeMaintainer
 from repro.core.build_mst import BuildMST
 from repro.core.config import AlgorithmConfig
-from repro.dynamic import TreeMaintainer, UpdateKind, tree_edge_deletions
+from repro.dynamic import TreeMaintainer, UpdateKind
 from repro.generators import random_connected_graph
 from repro.verify import is_minimum_spanning_forest
 
@@ -36,7 +39,9 @@ def _measure(n: int, m: int, seed: int = 19):
     graph = random_connected_graph(n, m, seed=seed)
     report = BuildMST(graph, config=AlgorithmConfig(n=n, seed=seed)).run()
     maintainer = TreeMaintainer(graph, report.forest, mode="mst", seed=seed)
-    stream = tree_edge_deletions(graph, report.forest, count=UPDATES, seed=seed)
+    # `churn` with an even target length 2k is exactly k tree-edge
+    # delete/reinsert pairs, so counters match the pre-scenario records.
+    stream = get_workload("churn")(graph, report.forest, count=2 * UPDATES, seed=seed)
     maintainer.apply_stream(stream)
     assert is_minimum_spanning_forest(report.forest)
     impromptu_costs = [outcome.messages for outcome in maintainer.history]

@@ -56,24 +56,37 @@ from .core import (
 )
 from .network import (
     Edge,
+    EdgeDelayScheduler,
+    FifoScheduler,
     Graph,
+    LifoScheduler,
     MessageAccountant,
+    RandomScheduler,
+    Scheduler,
     SpanningForest,
+    make_scheduler,
 )
 from . import api
 from .api import (
     AlgorithmRunner,
     ExperimentEngine,
     ExperimentJob,
+    ExperimentSpec,
     GraphSpec,
     RunResult,
+    ScheduleSpec,
+    WorkloadSpec,
     get_runner,
+    get_workload,
     list_algorithms,
+    list_workloads,
     register,
+    register_workload,
     run,
+    scenario_grid,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlgorithmConfig",
@@ -83,19 +96,27 @@ __all__ = [
     "BuildST",
     "CutTester",
     "Edge",
+    "EdgeDelayScheduler",
     "ExperimentEngine",
     "ExperimentJob",
+    "ExperimentSpec",
+    "FifoScheduler",
     "FindAny",
     "FindMin",
     "FindResult",
     "Graph",
     "GraphSpec",
+    "LifoScheduler",
     "MessageAccountant",
+    "RandomScheduler",
     "RepairReport",
     "RunResult",
+    "ScheduleSpec",
+    "Scheduler",
     "SpanningForest",
     "SuperpolyFindMin",
     "TreeRepairer",
+    "WorkloadSpec",
     "analysis",
     "api",
     "baselines",
@@ -105,10 +126,15 @@ __all__ = [
     "dynamic",
     "generators",
     "get_runner",
+    "get_workload",
     "list_algorithms",
+    "list_workloads",
+    "make_scheduler",
     "network",
     "register",
+    "register_workload",
     "run",
+    "scenario_grid",
     "verify",
     "__version__",
 ]

@@ -8,16 +8,20 @@ This package is the one public surface for *running* algorithms:
   :func:`list_algorithms`) with the :class:`AlgorithmRunner` protocol and the
   :func:`run` facade;
 * :class:`~repro.api.result.RunResult` — the uniform, JSON-round-trippable
-  outcome every runner returns;
+  outcome every runner returns, with workload/schedule provenance;
+* the scenario layer (:mod:`repro.api.scenario`) — a ``@register_workload``
+  registry of named update workloads plus :class:`WorkloadSpec`,
+  :class:`ScheduleSpec` and the combined :class:`ExperimentSpec`;
 * :class:`~repro.api.engine.ExperimentEngine` — deterministic serial or
-  process-parallel execution of ``(algorithm, spec)`` job lists.
+  process-parallel execution of ``(algorithm, spec)`` job lists, including
+  full scenario grids via :func:`scenario_grid` / ``run_suite``.
 
 >>> from repro.api import GraphSpec, run
 >>> run("kkt-mst", GraphSpec(nodes=32, density="sparse", seed=7)).ok
 True
 """
 
-from .engine import ExperimentEngine, ExperimentJob, derive_seed
+from .engine import ExperimentEngine, ExperimentJob, derive_seed, scenario_grid
 from .registry import (
     AlgorithmRunner,
     algorithm_summaries,
@@ -27,7 +31,30 @@ from .registry import (
     run,
 )
 from .result import RunResult
+from .scenario import (
+    ExperimentSpec,
+    ScheduleSpec,
+    WorkloadSpec,
+    get_workload,
+    list_workloads,
+    register_workload,
+    stream_fingerprint,
+    workload_summaries,
+)
 from .spec import DENSITY_PROFILES, WEIGHT_MODELS, GraphSpec, edge_budget
+
+# Scheduler construction is part of the scenario surface: re-export it so a
+# ScheduleSpec and the scheduler it names live in one namespace.
+from ..network.scheduler import (
+    SCHEDULERS,
+    EdgeDelayScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    RandomScheduler,
+    Scheduler,
+    list_schedulers,
+    make_scheduler,
+)
 
 # Importing the adapters registers the built-in algorithms.
 from . import runners  # noqa: E402  (must come after registry)
@@ -35,17 +62,34 @@ from . import runners  # noqa: E402  (must come after registry)
 __all__ = [
     "AlgorithmRunner",
     "DENSITY_PROFILES",
+    "EdgeDelayScheduler",
     "ExperimentEngine",
     "ExperimentJob",
+    "ExperimentSpec",
+    "FifoScheduler",
     "GraphSpec",
+    "LifoScheduler",
+    "RandomScheduler",
     "RunResult",
+    "SCHEDULERS",
+    "ScheduleSpec",
+    "Scheduler",
     "WEIGHT_MODELS",
+    "WorkloadSpec",
     "algorithm_summaries",
     "derive_seed",
     "edge_budget",
     "get_runner",
+    "get_workload",
     "list_algorithms",
+    "list_schedulers",
+    "list_workloads",
+    "make_scheduler",
     "register",
+    "register_workload",
     "run",
     "runners",
+    "scenario_grid",
+    "stream_fingerprint",
+    "workload_summaries",
 ]

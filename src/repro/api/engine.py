@@ -1,30 +1,37 @@
 """`ExperimentEngine`: fan algorithm runs across worker processes.
 
 The engine takes a list of :class:`ExperimentJob` (algorithm name +
-:class:`~repro.api.spec.GraphSpec` + options), executes them either serially
-or on a :class:`concurrent.futures.ProcessPoolExecutor`, and returns the
-:class:`~repro.api.result.RunResult` records in job order.
+:class:`~repro.api.spec.GraphSpec` or full
+:class:`~repro.api.scenario.ExperimentSpec` + options), executes them either
+serially or on a :class:`concurrent.futures.ProcessPoolExecutor`, and returns
+the :class:`~repro.api.result.RunResult` records in job order.
 
-Determinism is the whole point: a job whose spec carries no seed gets one
-derived from the engine's base seed and the job's position, so a ``--jobs 8``
-run produces *bit-identical counters* to a ``--jobs 1`` run of the same job
-list.  Results cross the process boundary as plain dicts (the
-``RunResult.to_dict`` payload), so nothing non-picklable ever leaves a
+Determinism is the whole point: a job whose graph spec carries no seed gets
+one derived from the engine's base seed and the job's position (workload and
+schedule seeds left unset resolve against the graph seed inside the runner),
+so a ``--jobs 8`` run produces *bit-identical counters* to a ``--jobs 1`` run
+of the same job list.  Results cross the process boundary as plain dicts
+(the ``RunResult.to_dict`` payload), so nothing non-picklable ever leaves a
 worker.
+
+Scenario sweeps (:meth:`ExperimentEngine.run_suite` /
+:func:`scenario_grid`) extend the PR-1 (algorithm × size) grid to the full
+(graph × algorithm × workload × schedule) product.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..network.errors import AlgorithmError
 from .registry import get_runner, run
 from .result import RunResult
+from .scenario import ExperimentSpec, ScheduleSpec, WorkloadSpec
 from .spec import GraphSpec
 
-__all__ = ["ExperimentJob", "ExperimentEngine", "derive_seed"]
+__all__ = ["ExperimentJob", "ExperimentEngine", "derive_seed", "scenario_grid"]
 
 
 #: Large odd multipliers for the splitmix-style seed derivation below.
@@ -41,17 +48,56 @@ def derive_seed(base: int, index: int) -> int:
 
 @dataclass
 class ExperimentJob:
-    """One unit of work: run ``algorithm`` on ``spec`` with ``options``."""
+    """One unit of work: run ``algorithm`` on ``spec`` with ``options``.
+
+    ``spec`` is either a bare :class:`GraphSpec` (a static construction run)
+    or a full :class:`ExperimentSpec` scenario.
+    """
 
     algorithm: str
-    spec: GraphSpec
+    spec: Union[GraphSpec, ExperimentSpec]
     options: Dict[str, Any] = field(default_factory=dict)
+
+
+def scenario_grid(
+    algorithms: Sequence[str],
+    graphs: Sequence[GraphSpec],
+    workloads: Sequence[Optional[Union[str, WorkloadSpec]]] = (None,),
+    schedules: Sequence[Optional[Union[str, ScheduleSpec]]] = (None,),
+    updates: Optional[int] = None,
+    **options: Any,
+) -> List[ExperimentJob]:
+    """The full scenario product: graph × algorithm × workload × schedule.
+
+    Workloads and schedules may be given as specs or as registered names
+    (``None`` keeps the dimension at its default: no workload for
+    construction algorithms / ``churn`` for repair, and default delivery).
+    ``updates`` caps name-given workloads; left ``None``, each workload uses
+    its natural length (the runner default, or the full trace for
+    ``trace-replay``).
+    """
+    jobs: List[ExperimentJob] = []
+    for graph in graphs:
+        for workload in workloads:
+            if isinstance(workload, str):
+                workload = WorkloadSpec(name=workload, updates=updates)
+            for schedule in schedules:
+                if isinstance(schedule, str):
+                    schedule = ScheduleSpec(scheduler=schedule)
+                spec = ExperimentSpec(graph=graph, workload=workload, schedule=schedule)
+                for algorithm in algorithms:
+                    jobs.append(ExperimentJob(algorithm, spec, dict(options)))
+    return jobs
 
 
 def _execute_payload(payload: Tuple[str, Dict[str, Any], Dict[str, Any]]) -> Dict[str, Any]:
     """Worker entry point: rebuild the job from plain data and run it."""
     algorithm, spec_dict, options = payload
-    result = run(algorithm, GraphSpec.from_dict(spec_dict), **options)
+    if "graph" in spec_dict:
+        spec: Union[GraphSpec, ExperimentSpec] = ExperimentSpec.from_dict(spec_dict)
+    else:
+        spec = GraphSpec.from_dict(spec_dict)
+    result = run(algorithm, spec, **options)
     return result.to_dict()
 
 
@@ -79,19 +125,23 @@ class ExperimentEngine:
     def seeded(self, jobs: Sequence[ExperimentJob]) -> List[ExperimentJob]:
         """Fill in deterministic seeds for specs that carry none.
 
-        Jobs sharing an (unseeded) spec get the *same* derived seed, so a
-        ``compare`` or per-size sweep grid still runs every algorithm on the
-        same graph; distinct specs get distinct seeds.
+        Jobs sharing an (unseeded) graph spec get the *same* derived seed, so
+        a ``compare`` or per-size sweep grid still runs every algorithm on
+        the same graph; distinct graph specs get distinct seeds.  For full
+        :class:`ExperimentSpec` jobs only the graph seed is assigned —
+        workload/schedule seeds left unset resolve against it deterministically
+        inside the runner.
         """
         assigned: Dict[GraphSpec, int] = {}
         seeded: List[ExperimentJob] = []
         for job in jobs:
             get_runner(job.algorithm)  # fail fast on unknown names
             spec = job.spec
-            if spec.seed is None:
-                if spec not in assigned:
-                    assigned[spec] = derive_seed(self.base_seed, len(assigned))
-                spec = spec.with_seed(assigned[spec])
+            graph = spec.graph if isinstance(spec, ExperimentSpec) else spec
+            if graph.seed is None:
+                if graph not in assigned:
+                    assigned[graph] = derive_seed(self.base_seed, len(assigned))
+                spec = spec.with_seed(assigned[graph])
             seeded.append(ExperimentJob(job.algorithm, spec, dict(job.options)))
         return seeded
 
@@ -158,8 +208,34 @@ class ExperimentEngine:
     def compare(
         self,
         algorithms: Sequence[str],
-        spec: GraphSpec,
+        spec: Union[GraphSpec, ExperimentSpec],
         **options: Any,
     ) -> List[RunResult]:
-        """Head-to-head: every algorithm on the *same* graph spec."""
+        """Head-to-head: every algorithm on the *same* (scenario) spec."""
         return self.run([ExperimentJob(name, spec, dict(options)) for name in algorithms])
+
+    def run_suite(
+        self,
+        specs: Iterable[Union[ExperimentJob, Tuple[str, Union[GraphSpec, ExperimentSpec]]]],
+    ) -> List[RunResult]:
+        """Run a scenario suite: jobs or ``(algorithm, spec)`` pairs.
+
+        This is :meth:`run` for scenario grids — typically fed by
+        :func:`scenario_grid` — with the same determinism guarantee:
+        parallel counters are bit-identical to a serial run of the same
+        suite.
+
+        >>> from repro.api import ExperimentEngine, GraphSpec, scenario_grid
+        >>> engine = ExperimentEngine(jobs=2)
+        >>> results = engine.run_suite(scenario_grid(
+        ...     ["kkt-repair"], [GraphSpec(nodes=24, density="sparse", seed=5)],
+        ...     workloads=["churn", "insert-heavy"], schedules=[None, "random"],
+        ... ))
+        >>> len(results)
+        4
+        """
+        jobs = [
+            job if isinstance(job, ExperimentJob) else ExperimentJob(job[0], job[1])
+            for job in specs
+        ]
+        return self.run(jobs)

@@ -10,10 +10,11 @@ benchmarks dispatch uniformly instead of special-casing each entry point.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol, Type, runtime_checkable
+from typing import Callable, Dict, List, Optional, Protocol, Type, Union, runtime_checkable
 
 from ..network.errors import AlgorithmError
 from .result import RunResult
+from .scenario import ExperimentSpec
 from .spec import GraphSpec
 
 __all__ = [
@@ -31,14 +32,19 @@ class AlgorithmRunner(Protocol):
     """What the registry requires of a runnable algorithm.
 
     ``name`` and ``summary`` are class attributes filled in by
-    :func:`register`; ``run`` builds the spec's graph, executes the
-    algorithm and returns a :class:`~repro.api.result.RunResult`.
+    :func:`register`; ``run`` builds the spec's scenario (graph, workload,
+    schedule), executes the algorithm and returns a
+    :class:`~repro.api.result.RunResult`.  A bare
+    :class:`~repro.api.spec.GraphSpec` is accepted wherever an
+    :class:`~repro.api.scenario.ExperimentSpec` is.
     """
 
     name: str
     summary: str
 
-    def run(self, spec: GraphSpec, **options: object) -> RunResult:
+    def run(
+        self, spec: Union[ExperimentSpec, GraphSpec], **options: object
+    ) -> RunResult:
         ...
 
 
@@ -92,8 +98,10 @@ def algorithm_summaries() -> Dict[str, str]:
     return {name: _REGISTRY[name].summary for name in list_algorithms()}
 
 
-def run(algorithm: str, spec: GraphSpec, **options: object) -> RunResult:
-    """Run a registered algorithm on a graph spec and return its result.
+def run(
+    algorithm: str, spec: Union[ExperimentSpec, GraphSpec], **options: object
+) -> RunResult:
+    """Run a registered algorithm on a graph or experiment spec.
 
     The uniform entry point behind the CLI and the experiment engine:
 
@@ -101,5 +109,26 @@ def run(algorithm: str, spec: GraphSpec, **options: object) -> RunResult:
     >>> result = run("kkt-mst", GraphSpec(nodes=96, density="complete", seed=7))
     >>> result.ok
     True
+
+    Scenario runs pass a full :class:`~repro.api.scenario.ExperimentSpec`:
+
+    >>> from repro import ExperimentSpec, ScheduleSpec, WorkloadSpec
+    >>> spec = ExperimentSpec(
+    ...     graph=GraphSpec(nodes=32, density="sparse", seed=7),
+    ...     workload=WorkloadSpec(name="deletions-only", updates=6),
+    ...     schedule=ScheduleSpec(scheduler="random"),
+    ... )
+    >>> run("kkt-repair", spec).ok
+    True
     """
+    if (
+        isinstance(spec, ExperimentSpec)
+        and spec.workload is None
+        and spec.schedule is None
+    ):
+        # A scenario that adds nothing over its graph spec is handed to the
+        # runner as the bare GraphSpec, so PR-1-style runners registered by
+        # users (run(spec) calling spec.build()) keep working under plain
+        # scenario_grid/run_suite sweeps.
+        spec = spec.graph
     return get_runner(algorithm).run(spec, **options)

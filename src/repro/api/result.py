@@ -7,15 +7,22 @@ counters it cared about.  :class:`RunResult` is the one record they all
 produce now: algorithm name, the :class:`~repro.api.spec.GraphSpec` that
 built the input, the cost counters the paper bounds (messages / bits /
 rounds / phases), wall time, and the validity checks that were run.
+
+Scenario runs additionally record *workload* and *schedule* provenance (the
+resolved :class:`~repro.api.scenario.WorkloadSpec` /
+:class:`~repro.api.scenario.ScheduleSpec`), so a suite's JSON lines say not
+just which algorithm ran but under which update stream and which delivery
+adversary.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from ..network.errors import AlgorithmError
+from .scenario import ScheduleSpec, WorkloadSpec
 from .spec import GraphSpec
 
 __all__ = ["RunResult"]
@@ -36,6 +43,8 @@ class RunResult:
     wall_time_s: float
     checks: Dict[str, bool] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
+    workload: Optional[WorkloadSpec] = None
+    schedule: Optional[ScheduleSpec] = None
 
     # ------------------------------------------------------------------ #
     # derived quantities
@@ -74,6 +83,8 @@ class RunResult:
             "wall_time_s": self.wall_time_s,
             "checks": dict(self.checks),
             "extra": dict(self.extra),
+            "workload": None if self.workload is None else self.workload.to_dict(),
+            "schedule": None if self.schedule is None else self.schedule.to_dict(),
         }
 
     @classmethod
@@ -97,6 +108,16 @@ class RunResult:
             wall_time_s=payload["wall_time_s"],
             checks=dict(payload.get("checks", {})),
             extra=dict(payload.get("extra", {})),
+            workload=(
+                None
+                if payload.get("workload") is None
+                else WorkloadSpec.from_dict(payload["workload"])
+            ),
+            schedule=(
+                None
+                if payload.get("schedule") is None
+                else ScheduleSpec.from_dict(payload["schedule"])
+            ),
         )
 
     def to_json(self, indent: int = None) -> str:

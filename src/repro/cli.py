@@ -5,28 +5,39 @@ algorithm in the registry is runnable by name, results are uniform
 :class:`~repro.api.result.RunResult` records, and sweeps fan out across
 worker processes.
 
-* ``run <algorithm>`` — run any registered algorithm on a generated graph;
+* ``run <algorithm>`` — run any registered algorithm on a generated graph,
+  optionally under ``--workload`` / ``--schedule``;
 * ``compare <algo> <algo> ...`` — head-to-head on the *same* graph spec;
 * ``sweep`` — size sweep; ``--algorithms ... --jobs N`` runs the registry
   grid in parallel, the legacy ``--kind`` form prints the normalised table;
+* ``suite`` — the full scenario grid: graph sizes × algorithms × workloads
+  × schedules, in parallel, with workload/schedule provenance per record;
 * ``algorithms`` — list the registry;
+* ``workloads`` — list the registered workloads and delivery schedulers;
 * ``build-mst`` / ``build-st`` — construct a tree and print the cost report
   next to the relevant baseline;
 * ``repair`` — build an MST/ST, apply a churn workload impromptu and print
   per-update costs;
+* ``trace record`` / ``trace replay`` — save a workload run as a JSON trace
+  and replay it bit-for-bit later;
 * ``selfcheck`` — run a quick end-to-end correctness pass.
 
-``--json`` (on ``run``, ``compare`` and ``sweep``) emits one ``RunResult``
-JSON record per line, which is what the benchmark harness consumes.
+``--json`` (on ``run``, ``compare``, ``sweep`` and ``suite``) emits one
+``RunResult`` JSON record per line, which is what the benchmark harness
+consumes.
 
 Examples
 --------
 ::
 
     python -m repro run kkt-mst --nodes 96 --density complete --seed 7
+    python -m repro run kkt-repair --nodes 48 --workload weight-ramp --schedule random
     python -m repro compare kkt-mst ghs --nodes 64 --seed 1
     python -m repro sweep --algorithms kkt-st flooding --sizes 32 64 96 --jobs 4 --json
-    python -m repro repair --nodes 64 --updates 10 --mode mst
+    python -m repro suite --algorithms kkt-repair recompute-repair \
+        --workloads churn deletions-only insert-heavy --schedules none random --jobs 4 --json
+    python -m repro trace record --nodes 32 --workload churn --out churn.trace.json
+    python -m repro trace replay churn.trace.json
     python -m repro selfcheck
 """
 
@@ -35,23 +46,30 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .analysis import ExperimentTable, run_construction_measurement, summarize
 from .api import (
     DENSITY_PROFILES,
     ExperimentEngine,
+    ExperimentSpec,
     GraphSpec,
     RunResult,
+    ScheduleSpec,
+    WorkloadSpec,
     algorithm_summaries,
     get_runner,
+    list_schedulers,
     run as run_algorithm,
+    scenario_grid,
+    workload_summaries,
 )
+from .api.scenario import _load_trace, list_workloads
 from .baselines import RecomputeMaintainer
 from .core.build_mst import BuildMST
 from .core.build_st import BuildST
 from .core.config import AlgorithmConfig
-from .dynamic import TreeMaintainer, UpdateKind, random_churn, tree_edge_deletions
+from .dynamic import TreeMaintainer, UpdateKind, UpdateTrace
 from .network.errors import AlgorithmError
 from .verify import is_minimum_spanning_forest, is_spanning_forest
 
@@ -92,8 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("algorithm", help="a registered algorithm name (see `algorithms`)")
     add_graph_arguments(run_cmd)
-    run_cmd.add_argument("--updates", type=int, default=10,
-                         help="churn-workload length (repair algorithms only)")
+    run_cmd.add_argument("--updates", type=int, default=None,
+                         help="workload stream length (default: 10 for generated "
+                              "workloads, the full trace for trace-replay)")
+    run_cmd.add_argument("--workload", choices=sorted(list_workloads()),
+                         help="run the scenario under a registered workload")
+    run_cmd.add_argument("--schedule", choices=sorted(list_schedulers()),
+                         help="deliver messages under an adversarial scheduler")
+    run_cmd.add_argument("--trace", metavar="PATH",
+                         help="trace file for the trace-replay workload")
     run_cmd.add_argument("--json", action="store_true", help="emit the RunResult as JSON")
 
     compare = subparsers.add_parser(
@@ -106,6 +131,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit one RunResult JSON record per line")
 
     subparsers.add_parser("algorithms", help="list the registered algorithms")
+    subparsers.add_parser(
+        "workloads", help="list the registered workloads and delivery schedulers"
+    )
+
+    suite = subparsers.add_parser(
+        "suite", help="scenario grid: sizes x algorithms x workloads x schedules"
+    )
+    suite.add_argument("--algorithms", nargs="+", metavar="algorithm", required=True)
+    suite.add_argument("--workloads", nargs="+", metavar="workload",
+                       choices=sorted(list_workloads()), default=["churn"])
+    suite.add_argument("--schedules", nargs="+", metavar="schedule",
+                       choices=["none"] + sorted(list_schedulers()), default=["none"],
+                       help="delivery schedules ('none' = default delivery)")
+    suite.add_argument("--sizes", type=int, nargs="+", default=[32])
+    suite.add_argument("--density", choices=_DENSITY_CHOICES, default="sparse")
+    suite.add_argument("--seed", type=int, default=2015)
+    suite.add_argument("--updates", type=int, default=None,
+                       help="workload stream length (default: 10 for generated "
+                            "workloads, the full trace for trace-replay)")
+    suite.add_argument("--trace", metavar="PATH",
+                       help="trace file for the trace-replay workload")
+    suite.add_argument("--jobs", type=int, default=1, help="worker processes")
+    suite.add_argument("--json", action="store_true",
+                       help="emit one RunResult JSON record per line")
+
+    trace = subparsers.add_parser(
+        "trace", help="record / replay dynamic-workload traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_sub.add_parser("record", help="run a workload and save it as a trace")
+    add_graph_arguments(record)
+    record.add_argument("--workload",
+                        choices=sorted(set(list_workloads()) - {"trace-replay"}),
+                        default="churn")
+    record.add_argument("--updates", type=int, default=10)
+    record.add_argument("--mode", choices=["mst", "st"], default="mst")
+    record.add_argument("--out", metavar="PATH", required=True,
+                        help="where to write the trace JSON")
+    replay = trace_sub.add_parser("replay", help="replay a saved trace bit-for-bit")
+    replay.add_argument("path", metavar="PATH", help="a trace written by `trace record`")
 
     for kind in ("mst", "st"):
         sub = subparsers.add_parser(
@@ -113,10 +178,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         add_graph_arguments(sub)
 
-    repair = subparsers.add_parser("repair", help="apply an impromptu-repair churn workload")
+    repair = subparsers.add_parser("repair", help="apply an impromptu-repair update workload")
     add_graph_arguments(repair)
     repair.add_argument("--mode", choices=["mst", "st"], default="mst")
     repair.add_argument("--updates", type=int, default=10)
+    repair.add_argument("--workload",
+                        choices=sorted(set(list_workloads()) - {"trace-replay"}),
+                        default="churn", help="a registered update workload")
     repair.add_argument("--compare-recompute", action="store_true",
                         help="also run the recompute-from-scratch baseline")
 
@@ -167,8 +235,40 @@ def _print_results_table(title: str, results: Sequence[RunResult]) -> None:
     print(table.render())
 
 
+def _print_suite_table(title: str, results: Sequence[RunResult]) -> None:
+    table = ExperimentTable(
+        "suite",
+        title,
+        ["algorithm", "workload", "schedule", "n", "m", "msgs", "msgs/m", "rounds", "ok"],
+    )
+    for result in results:
+        table.add_row(
+            result.algorithm,
+            "-" if result.workload is None else result.workload.name,
+            "-" if result.schedule is None else result.schedule.scheduler,
+            result.n,
+            result.m,
+            result.messages,
+            round(result.messages_per_edge, 3),
+            result.rounds,
+            result.ok,
+        )
+    print(table.render())
+
+
 def _spec_from_args(args: argparse.Namespace) -> GraphSpec:
     return GraphSpec(nodes=args.nodes, density=args.density, seed=args.seed)
+
+
+def _workload_from_args(
+    name: str, updates: Optional[int], trace: Optional[str]
+) -> WorkloadSpec:
+    params = {}
+    if name == "trace-replay":
+        if not trace:
+            raise AlgorithmError("the trace-replay workload needs --trace PATH")
+        params["path"] = trace
+    return WorkloadSpec(name=name, updates=updates, params=params)
 
 
 # ---------------------------------------------------------------------- #
@@ -191,10 +291,20 @@ def _runner_options(runner, args: argparse.Namespace) -> dict:
 
 def _command_run(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
+    if args.workload or args.schedule:
+        workload = (
+            _workload_from_args(args.workload, args.updates, args.trace)
+            if args.workload
+            else None
+        )
+        schedule = ScheduleSpec(scheduler=args.schedule) if args.schedule else None
+        spec = ExperimentSpec(graph=spec, workload=workload, schedule=schedule)
     runner = get_runner(args.algorithm)
     result = runner.run(spec, **_runner_options(runner, args))
     if args.json:
         _print_results_json([result])
+    elif args.workload or args.schedule:
+        _print_suite_table(f"{args.algorithm} on a {args.density} graph", [result])
     else:
         _print_results_table(f"{args.algorithm} on a {args.density} graph", [result])
     return 0 if result.ok else 1
@@ -222,6 +332,113 @@ def _command_algorithms(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_workloads(_args: argparse.Namespace) -> int:
+    table = ExperimentTable("workloads", "Registered workloads", ["name", "summary"])
+    for name, summary in workload_summaries().items():
+        table.add_row(name, summary)
+    print(table.render())
+    schedulers = ExperimentTable(
+        "schedulers", "Delivery schedulers (for --schedule / --schedules)", ["name"]
+    )
+    for name in list_schedulers():
+        schedulers.add_row(name)
+    print(schedulers.render())
+    return 0
+
+
+def _command_suite(args: argparse.Namespace) -> int:
+    graphs = [
+        GraphSpec(nodes=size, density=args.density, seed=args.seed)
+        for size in args.sizes
+    ]
+    workloads = [
+        _workload_from_args(name, args.updates, args.trace) for name in args.workloads
+    ]
+    schedules = [
+        None if name == "none" else ScheduleSpec(scheduler=name)
+        for name in args.schedules
+    ]
+    engine = ExperimentEngine(jobs=args.jobs, base_seed=args.seed)
+    results = engine.run_suite(
+        scenario_grid(args.algorithms, graphs, workloads=workloads, schedules=schedules)
+    )
+    if args.json:
+        _print_results_json(results)
+    else:
+        _print_suite_table(
+            f"Scenario suite over {args.density} graphs "
+            f"(seed={args.seed}, jobs={args.jobs})",
+            results,
+        )
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        return _command_trace_record(args)
+    return _command_trace_replay(args)
+
+
+def _command_trace_record(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    graph = spec.build()
+    config = AlgorithmConfig(n=graph.num_nodes, seed=args.seed, c=args.error_exponent)
+    builder = BuildMST(graph, config=config) if args.mode == "mst" else BuildST(graph, config=config)
+    report = builder.run()
+    workload = WorkloadSpec(
+        name=args.workload, updates=args.updates
+    ).resolve_seed(spec.seed)
+    stream = workload.build(graph, report.forest)
+    # Capture the initial state *before* the maintainer mutates it, then
+    # attach the measured per-update costs afterwards.
+    trace = UpdateTrace.record(
+        graph, report.forest, stream, mode=args.mode, seed=spec.seed
+    )
+    maintainer = TreeMaintainer(graph, report.forest, mode=args.mode, seed=spec.seed)
+    outcomes = maintainer.apply_stream(stream)
+    trace.costs = [outcome.messages for outcome in outcomes]
+    path = trace.save(args.out)
+
+    checker = is_minimum_spanning_forest if args.mode == "mst" else is_spanning_forest
+    ok = checker(report.forest)
+    table = ExperimentTable(
+        "trace-record", f"Recorded {args.workload} workload -> {path}", ["quantity", "value"]
+    )
+    table.add_row("nodes / edges", f"{graph.num_nodes} / {graph.num_edges}")
+    table.add_row("updates recorded", len(stream))
+    table.add_row("tree invariant holds", ok)
+    table.add_row("total repair messages", sum(trace.costs))
+    print(table.render())
+    return 0 if ok else 1
+
+
+def _command_trace_replay(args: argparse.Namespace) -> int:
+    # One loader with the CLI error contract: missing or malformed files
+    # surface as `repro: error: ...` (exit 2), not a traceback.
+    trace = _load_trace({"path": args.path})
+    graph, forest = trace.rebuild_initial_state()
+    maintainer = TreeMaintainer(graph, forest, mode=trace.mode, seed=trace.seed)
+    outcomes = maintainer.apply_stream(trace.stream())
+    costs = [outcome.messages for outcome in outcomes]
+
+    checker = is_minimum_spanning_forest if trace.mode == "mst" else is_spanning_forest
+    ok = checker(forest)
+    reproduced = (not trace.costs) or costs == trace.costs
+    table = ExperimentTable(
+        "trace-replay", f"Replayed {args.path}", ["quantity", "value"]
+    )
+    table.add_row("nodes / edges", f"{graph.num_nodes} / {graph.num_edges}")
+    table.add_row("updates replayed", len(costs))
+    table.add_row("tree invariant holds", ok)
+    table.add_row("total repair messages", sum(costs))
+    table.add_row(
+        "per-update costs reproduced",
+        reproduced if trace.costs else "n/a (trace carries no costs)",
+    )
+    print(table.render())
+    return 0 if ok and reproduced else 1
+
+
 def _command_build(kind: str, args: argparse.Namespace) -> int:
     measurement = run_construction_measurement(
         args.nodes, kind=kind, density=args.density, seed=args.seed, c=args.error_exponent
@@ -243,15 +460,14 @@ def _command_build(kind: str, args: argparse.Namespace) -> int:
 
 
 def _command_repair(args: argparse.Namespace) -> int:
-    graph = GraphSpec(nodes=args.nodes, density=args.density, seed=args.seed).build()
+    spec = _spec_from_args(args)
+    graph = spec.build()
     config = AlgorithmConfig(n=args.nodes, seed=args.seed, c=args.error_exponent)
     builder = BuildMST(graph, config=config) if args.mode == "mst" else BuildST(graph, config=config)
     report = builder.run()
     maintainer = TreeMaintainer(graph, report.forest, mode=args.mode, seed=args.seed)
-    stream = tree_edge_deletions(
-        graph, report.forest, count=max(args.updates // 2, 1), seed=args.seed
-    )
-    stream.extend(random_churn(graph, count=args.updates - len(stream) // 2, seed=args.seed + 1))
+    workload = WorkloadSpec(name=args.workload, updates=args.updates).resolve_seed(spec.seed)
+    stream = workload.build(graph, report.forest)
     maintainer.apply_stream(stream)
 
     checker = is_minimum_spanning_forest if args.mode == "mst" else is_spanning_forest
@@ -259,7 +475,9 @@ def _command_repair(args: argparse.Namespace) -> int:
     costs = maintainer.messages_per_update()
     stats = summarize(costs)
     table = ExperimentTable(
-        "repair", f"Impromptu {args.mode.upper()} repair under churn", ["quantity", "value"]
+        "repair",
+        f"Impromptu {args.mode.upper()} repair under {args.workload}",
+        ["quantity", "value"],
     )
     table.add_row("nodes / edges", f"{graph.num_nodes} / {graph.num_edges}")
     table.add_row("updates processed", len(costs))
@@ -356,8 +574,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _command_run,
         "compare": _command_compare,
         "algorithms": _command_algorithms,
+        "workloads": _command_workloads,
         "repair": _command_repair,
+        "suite": _command_suite,
         "sweep": _command_sweep,
+        "trace": _command_trace,
         "selfcheck": _command_selfcheck,
     }
     if args.command == "build-mst":

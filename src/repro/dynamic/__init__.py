@@ -5,8 +5,10 @@ from .trace import UpdateTrace
 from .updates import EdgeUpdate, UpdateKind, UpdateStream
 from .workloads import (
     bridge_deletions,
+    bridge_heavy_deletions,
     random_churn,
     tree_edge_deletions,
+    tree_weight_increases,
     weight_perturbations,
 )
 
@@ -18,7 +20,9 @@ __all__ = [
     "UpdateStream",
     "UpdateTrace",
     "bridge_deletions",
+    "bridge_heavy_deletions",
     "random_churn",
     "tree_edge_deletions",
+    "tree_weight_increases",
     "weight_perturbations",
 ]

@@ -8,7 +8,11 @@ distinguish:
 * ``random_churn`` — a mix of random insertions and deletions, keeping the
   graph connected if asked (what a long-lived network experiences);
 * ``weight_perturbations`` — random weight increases/decreases (MST only);
-* ``bridge_deletions`` — deletions of bridges (the "no replacement" path).
+* ``bridge_deletions`` — deletions of bridges (the "no replacement" path);
+* ``bridge_heavy_deletions`` — tree-edge delete/reinsert pairs that prefer
+  bridges, keeping the repair on the expensive "certify ∅" path;
+* ``tree_weight_increases`` — adversarial monotone weight increases on tree
+  edges (every increase threatens to evict the edge from the MST).
 """
 
 from __future__ import annotations
@@ -26,6 +30,8 @@ __all__ = [
     "random_churn",
     "weight_perturbations",
     "bridge_deletions",
+    "bridge_heavy_deletions",
+    "tree_weight_increases",
 ]
 
 
@@ -154,6 +160,73 @@ def bridge_deletions(
         key = sorted(bridges)[rng.randrange(len(bridges))]
         stream.append(EdgeUpdate.delete(*key))
         shadow.remove_edge(*key)
+    return stream
+
+
+def bridge_heavy_deletions(
+    graph: Graph,
+    forest: SpanningForest,
+    count: int,
+    seed: Optional[int] = None,
+) -> UpdateStream:
+    """Tree-edge delete/reinsert pairs that prefer bridges.
+
+    Every bridge of the graph belongs to every spanning forest, so deleting
+    one always exercises the repair's "certify that no replacement exists"
+    path (the ∅ outcome of FindMin/FindAny).  Each step deletes a bridge when
+    one exists — falling back to a random marked tree edge otherwise — and
+    reinserts it immediately so the stream can be arbitrarily long.
+    """
+    rng = random.Random(seed)
+    marked: Set[Tuple[int, int]] = set(forest.marked_edges)
+    if not marked:
+        raise AlgorithmError("the forest has no marked edges to delete")
+    # Each delete is immediately reinserted, so the topology — and hence the
+    # bridge set — is the same at every step: compute the pool once.
+    bridges = [key for key in _find_bridges(graph) if key in marked]
+    pool = sorted(bridges) if bridges else sorted(marked)
+    stream = UpdateStream()
+    for _ in range(count):
+        key = pool[rng.randrange(len(pool))]
+        weight = graph.get_edge(*key).weight
+        stream.append(EdgeUpdate.delete(*key))
+        stream.append(EdgeUpdate.insert(key[0], key[1], weight))
+    return stream
+
+
+def tree_weight_increases(
+    graph: Graph,
+    forest: SpanningForest,
+    count: int,
+    seed: Optional[int] = None,
+    max_delta: int = 10,
+) -> UpdateStream:
+    """Adversarial monotone weight increases on (initially) tree edges.
+
+    The paper treats a weight increase of a tree edge like a deletion: the
+    maintainer must search for a replacement.  Each step ramps a random
+    marked edge's weight up by ``1..max_delta``, so in MST mode every update
+    threatens to evict the edge from the tree.
+    """
+    if max_delta < 1:
+        raise AlgorithmError("max_delta must be at least 1")
+    rng = random.Random(seed)
+    shadow = graph.copy()
+    marked = sorted(forest.marked_edges)
+    if not marked:
+        raise AlgorithmError("the forest has no marked edges to ramp")
+    used = {edge.weight for edge in shadow.edges()}
+    stream = UpdateStream()
+    for _ in range(count):
+        key = marked[rng.randrange(len(marked))]
+        new_weight = shadow.get_edge(*key).weight + rng.randint(1, max_delta)
+        # Preserve the paper's distinct-weight assumption: never ramp onto a
+        # weight another edge already carries.
+        while new_weight in used:
+            new_weight += 1
+        stream.append(EdgeUpdate.increase_weight(key[0], key[1], new_weight))
+        used.add(new_weight)
+        shadow.set_weight(key[0], key[1], new_weight)
     return stream
 
 

@@ -31,11 +31,14 @@ from .leader_election import ElectionResult, detect_cycle, elect_leader
 from .message import Message, message_bits_for_value
 from .node import ProtocolNode
 from .scheduler import (
+    SCHEDULERS,
     EdgeDelayScheduler,
     FifoScheduler,
     LifoScheduler,
     RandomScheduler,
     Scheduler,
+    list_schedulers,
+    make_scheduler,
 )
 from .sync_simulator import SynchronousSimulator
 
@@ -62,6 +65,7 @@ __all__ = [
     "ProtocolNode",
     "RandomScheduler",
     "ReproError",
+    "SCHEDULERS",
     "Scheduler",
     "SimulationError",
     "SpanningForest",
@@ -71,6 +75,8 @@ __all__ = [
     "detect_cycle",
     "edge_key",
     "elect_leader",
+    "list_schedulers",
+    "make_scheduler",
     "message_bits_for_value",
     "run_reference_broadcast_echo",
 ]

@@ -14,12 +14,18 @@ benchmarks exercise a protocol under different adversaries:
   messages as long as new ones keep arriving).
 * :class:`EdgeDelayScheduler` — assigns each edge a fixed integer delay and
   delivers in (send time + delay) order, modelling heterogeneous links.
+
+Each scheduler also has a :meth:`~Scheduler.from_params` constructor that
+accepts plain JSON-friendly data (so a ``ScheduleSpec`` can name a scheduler
+in a serialised experiment description), and :func:`make_scheduler` builds
+any of them by their registered short name (``fifo`` / ``lifo`` / ``random``
+/ ``edge-delay``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from .errors import SimulationError
 from .graph import edge_key
@@ -31,7 +37,19 @@ __all__ = [
     "LifoScheduler",
     "RandomScheduler",
     "EdgeDelayScheduler",
+    "SCHEDULERS",
+    "list_schedulers",
+    "make_scheduler",
 ]
+
+
+def _reject_unknown(cls_name: str, params: Mapping[str, Any], known: Tuple[str, ...]) -> None:
+    unknown = set(params) - set(known)
+    if unknown:
+        raise SimulationError(
+            f"{cls_name} does not accept parameters {sorted(unknown)}; "
+            f"known parameters: {sorted(known) or '<none>'}"
+        )
 
 
 class Scheduler:
@@ -48,6 +66,12 @@ class Scheduler:
 
     def empty(self) -> bool:
         return len(self) == 0
+
+    @classmethod
+    def from_params(cls, **params: Any) -> "Scheduler":
+        """Build the scheduler from plain (JSON-friendly) keyword data."""
+        _reject_unknown(cls.__name__, params, ())
+        return cls()
 
 
 class FifoScheduler(Scheduler):
@@ -102,6 +126,11 @@ class RandomScheduler(Scheduler):
         self._rng = rng if rng is not None else random.Random(seed)
         self._pending: List[Message] = []
 
+    @classmethod
+    def from_params(cls, **params: Any) -> "RandomScheduler":
+        _reject_unknown(cls.__name__, params, ("seed",))
+        return cls(seed=params.get("seed"))
+
     def push(self, message: Message) -> None:
         self._pending.append(message)
 
@@ -143,6 +172,14 @@ class EdgeDelayScheduler(Scheduler):
         self._pending: List[Tuple[int, int, Message]] = []
         self._counter = 0
 
+    @classmethod
+    def from_params(cls, **params: Any) -> "EdgeDelayScheduler":
+        _reject_unknown(cls.__name__, params, ("delays", "default_delay"))
+        return cls(
+            delays=_decode_delays(params.get("delays")),
+            default_delay=params.get("default_delay", 1),
+        )
+
     def push(self, message: Message) -> None:
         delay = self._delays.get(
             edge_key(message.sender, message.receiver), self._default_delay
@@ -158,3 +195,70 @@ class EdgeDelayScheduler(Scheduler):
 
     def __len__(self) -> int:
         return len(self._pending)
+
+
+# ---------------------------------------------------------------------- #
+# construction by name
+# ---------------------------------------------------------------------- #
+#: Registered scheduler names, as used by ``ScheduleSpec`` and the CLI.
+SCHEDULERS: Dict[str, type] = {
+    "fifo": FifoScheduler,
+    "lifo": LifoScheduler,
+    "random": RandomScheduler,
+    "edge-delay": EdgeDelayScheduler,
+}
+
+
+def _decode_delays(
+    delays: Union[None, Mapping[Any, int], List[Any]]
+) -> Optional[Dict[Tuple[int, int], int]]:
+    """Accept per-edge delays as tuple keys, ``"u-v"`` strings or triples.
+
+    JSON objects cannot have tuple keys, so serialised specs carry either a
+    ``{"u-v": delay}`` mapping or a ``[[u, v, delay], ...]`` list; in-process
+    callers may keep passing ``{(u, v): delay}`` directly.
+    """
+    if delays is None:
+        return None
+    decoded: Dict[Tuple[int, int], int] = {}
+    if isinstance(delays, Mapping):
+        for key, delay in delays.items():
+            if isinstance(key, str):
+                u, _, v = key.partition("-")
+                try:
+                    key = (int(u), int(v))
+                except ValueError:
+                    raise SimulationError(
+                        f"edge-delay keys must look like 'u-v', got {key!r}"
+                    ) from None
+            decoded[edge_key(*key)] = int(delay)
+        return decoded
+    for entry in delays:
+        if len(entry) != 3:
+            raise SimulationError(
+                f"edge-delay entries must be [u, v, delay] triples, got {entry!r}"
+            )
+        u, v, delay = entry
+        decoded[edge_key(int(u), int(v))] = int(delay)
+    return decoded
+
+
+def list_schedulers() -> List[str]:
+    """The registered scheduler names, sorted."""
+    return sorted(SCHEDULERS)
+
+
+def make_scheduler(name: str, **params: Any) -> Scheduler:
+    """Build a scheduler by registered name from JSON-friendly parameters.
+
+    >>> make_scheduler("random", seed=7)  # doctest: +ELLIPSIS
+    <repro.network.scheduler.RandomScheduler object at ...>
+    """
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        known = ", ".join(list_schedulers())
+        raise SimulationError(
+            f"unknown scheduler {name!r}; registered schedulers: {known}"
+        ) from None
+    return cls.from_params(**params)

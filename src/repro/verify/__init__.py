@@ -15,6 +15,7 @@ from .forest_check import (
 from .mst_check import (
     check_minimum_spanning_forest,
     is_minimum_spanning_forest,
+    is_minimum_weight_forest,
     mst_difference,
 )
 
@@ -25,6 +26,7 @@ __all__ = [
     "check_spanning_forest",
     "has_valid_mst_certificates",
     "is_minimum_spanning_forest",
+    "is_minimum_weight_forest",
     "is_spanning_forest",
     "mst_difference",
     "tree_path",

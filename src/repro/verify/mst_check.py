@@ -17,7 +17,12 @@ from ..network.errors import ForestError
 from ..network.fragments import SpanningForest
 from .forest_check import check_spanning_forest
 
-__all__ = ["check_minimum_spanning_forest", "is_minimum_spanning_forest", "mst_difference"]
+__all__ = [
+    "check_minimum_spanning_forest",
+    "is_minimum_spanning_forest",
+    "is_minimum_weight_forest",
+    "mst_difference",
+]
 
 
 def mst_difference(forest: SpanningForest) -> Tuple[Set[Tuple[int, int]], Set[Tuple[int, int]]]:
@@ -45,3 +50,22 @@ def is_minimum_spanning_forest(forest: SpanningForest) -> bool:
     except ForestError:
         return False
     return True
+
+
+def is_minimum_weight_forest(forest: SpanningForest) -> bool:
+    """Is the forest spanning and of minimum total *raw* weight?
+
+    When raw weights are distinct this coincides with
+    :func:`is_minimum_spanning_forest`.  On graphs that violate the paper's
+    distinct-weight assumption (e.g. after a workload inserted random-weight
+    edges) the minimum forest is no longer unique, so correctness means
+    matching Kruskal's total weight rather than its exact edge set.
+    """
+    try:
+        check_spanning_forest(forest)
+    except ForestError:
+        return False
+    graph = forest.graph
+    optimal = sum(edge.weight for edge in kruskal_mst(graph))
+    marked = sum(graph.get_edge(u, v).weight for u, v in forest.marked_edges)
+    return marked == optimal

@@ -79,6 +79,103 @@ class TestAlgorithmsCommand:
             assert name in out
 
 
+class TestWorkloadsCommand:
+    def test_lists_workloads_and_schedulers(self, capsys):
+        code = main(["workloads"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("churn", "deletions-only", "bridge-heavy", "insert-heavy",
+                     "weight-ramp", "trace-replay"):
+            assert name in out
+        for name in ("fifo", "lifo", "random", "edge-delay"):
+            assert name in out
+
+
+class TestSuiteCommand:
+    ARGS = ["suite", "--algorithms", "kkt-repair", "recompute-repair",
+            "--workloads", "churn", "insert-heavy", "--schedules", "none", "random",
+            "--sizes", "12", "--density", "sparse", "--seed", "4", "--updates", "4"]
+
+    def test_suite_json_records_provenance(self, capsys):
+        code = main(self.ARGS + ["--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        results = parse_json_lines(out)
+        assert len(results) == 8
+        assert {r.workload.name for r in results} == {"churn", "insert-heavy"}
+        assert {None if r.schedule is None else r.schedule.scheduler for r in results} == {
+            None, "random",
+        }
+
+    def test_suite_parallel_counters_match_serial(self, capsys):
+        assert main(self.ARGS + ["--json", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--json", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def strip_wall_time(out):
+            records = [json.loads(line) for line in out.strip().splitlines()]
+            for record in records:
+                record.pop("wall_time_s")
+            return records
+
+        assert strip_wall_time(parallel) == strip_wall_time(serial)
+
+    def test_suite_table(self, capsys):
+        code = main(["suite", "--algorithms", "kkt-repair", "--workloads", "churn",
+                     "--sizes", "12", "--density", "sparse", "--updates", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload" in out and "schedule" in out
+
+    def test_trace_replay_workload_requires_trace_flag(self, capsys):
+        code = main(["suite", "--algorithms", "kkt-repair",
+                     "--workloads", "trace-replay", "--sizes", "12"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--trace" in captured.err
+
+
+class TestTraceCommands:
+    def test_record_then_replay_round_trips(self, capsys, tmp_path):
+        path = tmp_path / "churn.trace.json"
+        code = main(["trace", "record", "--nodes", "16", "--density", "sparse",
+                     "--seed", "5", "--updates", "4", "--out", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert path.exists()
+        assert "updates recorded" in out
+
+        code = main(["trace", "replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-update costs reproduced" in out
+
+        code = main(["suite", "--algorithms", "kkt-repair", "--workloads",
+                     "trace-replay", "--trace", str(path), "--sizes", "12", "--json"])
+        (result,) = parse_json_lines(capsys.readouterr().out)
+        assert code == 0
+        assert result.n == 16  # the trace's graph wins over --sizes
+
+    def test_replay_missing_file_errors(self, capsys, tmp_path):
+        code = main(["trace", "replay", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not found" in captured.err
+
+
+class TestRunScenarioFlags:
+    def test_run_with_workload_and_schedule(self, capsys):
+        code = main(["run", "kkt-repair", "--nodes", "16", "--density", "sparse",
+                     "--seed", "5", "--updates", "4", "--workload", "weight-ramp",
+                     "--schedule", "random", "--json"])
+        (result,) = parse_json_lines(capsys.readouterr().out)
+        assert code == 0
+        assert result.workload.name == "weight-ramp"
+        assert result.schedule.scheduler == "random"
+        assert result.checks["delivery"] is True
+
+
 class TestSweepCommand:
     def test_parser_accepts_engine_flags(self):
         args = build_parser().parse_args(

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.api import ExperimentEngine, ExperimentJob, GraphSpec, derive_seed
+from repro.api import (
+    ExperimentEngine,
+    ExperimentJob,
+    ExperimentSpec,
+    GraphSpec,
+    ScheduleSpec,
+    WorkloadSpec,
+    derive_seed,
+    scenario_grid,
+)
 from repro.network.errors import AlgorithmError
 
 
@@ -107,3 +116,83 @@ class TestExecution:
                            {"updates": 4})]
         )
         assert results[0].extra["updates"] == 4
+
+
+def suite_counters(results):
+    return [
+        (r.algorithm, r.spec, r.workload, r.schedule, r.counters(), r.checks)
+        for r in results
+    ]
+
+
+class TestScenarioGrid:
+    def test_full_product_in_order(self):
+        jobs = scenario_grid(
+            ["kkt-repair", "recompute-repair"],
+            [GraphSpec(nodes=12, density="sparse", seed=1)],
+            workloads=["churn", "insert-heavy"],
+            schedules=[None, "random"],
+            updates=4,
+        )
+        assert len(jobs) == 8
+        assert [job.algorithm for job in jobs[:2]] == ["kkt-repair", "recompute-repair"]
+        assert jobs[0].spec.workload.name == "churn"
+        assert jobs[0].spec.schedule is None
+        assert jobs[1].spec.schedule is None
+        assert jobs[2].spec.schedule.scheduler == "random"
+        assert all(job.spec.workload.updates == 4 for job in jobs)
+
+    def test_accepts_spec_objects(self):
+        jobs = scenario_grid(
+            ["flooding"],
+            [GraphSpec(nodes=12, density="sparse")],
+            workloads=[WorkloadSpec(name="weight-ramp", updates=3, params={"max_delta": 2})],
+            schedules=[ScheduleSpec(scheduler="lifo")],
+        )
+        assert jobs[0].spec.workload.params == {"max_delta": 2}
+        assert jobs[0].spec.schedule.scheduler == "lifo"
+
+
+class TestRunSuite:
+    GRID = dict(
+        workloads=["churn", "deletions-only"],
+        schedules=[None, "random"],
+        updates=4,
+    )
+
+    def _jobs(self):
+        return scenario_grid(
+            ["kkt-repair", "flooding"],
+            [GraphSpec(nodes=12, density="sparse")],
+            **self.GRID,
+        )
+
+    def test_suite_results_carry_provenance(self):
+        results = ExperimentEngine(base_seed=3).run_suite(self._jobs())
+        assert len(results) == 8
+        assert all(r.ok for r in results)
+        assert all(r.workload is not None for r in results)
+        scheduled = [r for r in results if r.schedule is not None]
+        assert {r.schedule.scheduler for r in scheduled} == {"random"}
+
+    def test_parallel_suite_matches_serial(self):
+        serial = ExperimentEngine(jobs=1, base_seed=3).run_suite(self._jobs())
+        parallel = ExperimentEngine(jobs=4, base_seed=3).run_suite(self._jobs())
+        assert suite_counters(parallel) == suite_counters(serial)
+
+    def test_accepts_algorithm_spec_pairs(self):
+        spec = ExperimentSpec(
+            graph=GraphSpec(nodes=12, density="sparse", seed=2),
+            workload=WorkloadSpec(name="churn", updates=4),
+        )
+        results = ExperimentEngine().run_suite([("kkt-repair", spec)])
+        assert results[0].algorithm == "kkt-repair"
+        assert results[0].workload.name == "churn"
+
+    def test_seeded_shares_graph_seed_across_scenarios(self):
+        # The same unseeded graph spec under different workloads must get the
+        # SAME derived seed, so scenarios stay comparable on one graph.
+        jobs = self._jobs()
+        seeded = ExperimentEngine(base_seed=3).seeded(jobs)
+        seeds = {job.spec.graph.seed for job in seeded}
+        assert seeds == {derive_seed(3, 0)}

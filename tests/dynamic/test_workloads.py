@@ -116,3 +116,60 @@ class TestBridgeDeletions:
         graph = path_graph(4, seed=3)
         stream = bridge_deletions(graph, count=10, seed=3)
         assert len(stream) == 3
+
+
+class TestBridgeHeavyDeletions:
+    def test_path_graph_only_deletes_bridges(self):
+        from repro.dynamic.workloads import bridge_heavy_deletions
+
+        graph = path_graph(8, seed=4)
+        forest = SpanningForest(graph, marked=[(e.u, e.v) for e in graph.edges()])
+        stream = bridge_heavy_deletions(graph, forest, count=4, seed=4)
+        stream.validate_against(graph)
+        assert len(stream) == 8  # delete + reinsert pairs
+        deletes = [u for u in stream if u.kind is UpdateKind.DELETE]
+        assert all(u.key in forest.marked_edges for u in deletes)
+
+    def test_applicable_on_random_graph(self):
+        from repro.dynamic.workloads import bridge_heavy_deletions
+
+        graph, forest = _graph_with_mst(seed=6)
+        stream = bridge_heavy_deletions(graph, forest, count=5, seed=6)
+        stream.validate_against(graph)
+        kinds = [u.kind for u in stream]
+        assert kinds == [UpdateKind.DELETE, UpdateKind.INSERT] * 5
+
+    def test_requires_marked_edges(self):
+        from repro.dynamic.workloads import bridge_heavy_deletions
+
+        graph = path_graph(4, seed=1)
+        empty_forest = SpanningForest(graph)
+        with pytest.raises(AlgorithmError):
+            bridge_heavy_deletions(graph, empty_forest, count=2, seed=1)
+
+
+class TestTreeWeightIncreases:
+    def test_ramps_only_tree_edges_monotonically(self):
+        from repro.dynamic.workloads import tree_weight_increases
+
+        graph, forest = _graph_with_mst(seed=7)
+        stream = tree_weight_increases(graph, forest, count=10, seed=7, max_delta=3)
+        stream.validate_against(graph)
+        assert len(stream) == 10
+        assert all(u.kind is UpdateKind.INCREASE_WEIGHT for u in stream)
+        assert all(u.key in forest.marked_edges for u in stream)
+
+    def test_rejects_bad_delta(self):
+        from repro.dynamic.workloads import tree_weight_increases
+
+        graph, forest = _graph_with_mst(seed=7)
+        with pytest.raises(AlgorithmError):
+            tree_weight_increases(graph, forest, count=3, seed=7, max_delta=0)
+
+    def test_seeded_streams_are_reproducible(self):
+        from repro.dynamic.workloads import tree_weight_increases
+
+        graph, forest = _graph_with_mst(seed=8)
+        first = tree_weight_increases(graph, forest, count=6, seed=8)
+        second = tree_weight_increases(graph, forest, count=6, seed=8)
+        assert list(first) == list(second)

@@ -113,3 +113,63 @@ class TestEdgeDelay:
     def test_empty_pop_raises(self):
         with pytest.raises(SimulationError):
             EdgeDelayScheduler().pop()
+
+
+class TestFromParamsAndFactory:
+    def test_make_scheduler_by_name(self):
+        from repro.network.scheduler import make_scheduler
+
+        assert isinstance(make_scheduler("fifo"), FifoScheduler)
+        assert isinstance(make_scheduler("lifo"), LifoScheduler)
+        assert isinstance(make_scheduler("random", seed=3), RandomScheduler)
+        assert isinstance(make_scheduler("edge-delay"), EdgeDelayScheduler)
+
+    def test_unknown_name_lists_registry(self):
+        from repro.network.scheduler import make_scheduler
+
+        with pytest.raises(SimulationError, match="fifo"):
+            make_scheduler("quantum")
+
+    def test_unknown_params_rejected(self):
+        from repro.network.scheduler import make_scheduler
+
+        with pytest.raises(SimulationError):
+            make_scheduler("fifo", seed=1)
+        with pytest.raises(SimulationError):
+            make_scheduler("random", delays={})
+
+    def test_edge_delay_string_keys(self):
+        from repro.network.scheduler import make_scheduler
+
+        sched = make_scheduler("edge-delay", delays={"1-2": 4}, default_delay=0)
+        fast = _msg(0, sender=3, receiver=4)
+        slow = _msg(1, sender=1, receiver=2)
+        sched.push(slow)
+        sched.push(fast)
+        assert sched.pop() is fast
+
+    def test_edge_delay_triple_list(self):
+        from repro.network.scheduler import make_scheduler
+
+        sched = make_scheduler("edge-delay", delays=[[2, 1, 7]])
+        sched.push(_msg(0, sender=1, receiver=2))
+        assert len(sched) == 1
+
+    def test_edge_delay_bad_keys_rejected(self):
+        from repro.network.scheduler import make_scheduler
+
+        with pytest.raises(SimulationError):
+            make_scheduler("edge-delay", delays={"one:two": 4})
+        with pytest.raises(SimulationError):
+            make_scheduler("edge-delay", delays=[[1, 2]])
+
+    def test_random_from_params_is_seeded(self):
+        first = RandomScheduler.from_params(seed=5)
+        second = RandomScheduler.from_params(seed=5)
+        messages = [_msg(i) for i in range(6)]
+        for m in messages:
+            first.push(m)
+            second.push(m)
+        assert [first.pop().kind for _ in range(6)] == [
+            second.pop().kind for _ in range(6)
+        ]

@@ -1,0 +1,92 @@
+"""Property: results and experiment specs survive JSON round-trips exactly.
+
+The acceptance bar for the scenario API is that *every* registered
+algorithm × workload combination yields a :class:`RunResult` whose
+``to_json``/``from_json`` is the identity (same for the
+:class:`ExperimentSpec` that produced it) — that is what makes ``repro
+suite --json`` output a faithful, replayable record of a sweep.
+"""
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    GraphSpec,
+    RunResult,
+    ScheduleSpec,
+    WorkloadSpec,
+    get_workload,
+    list_algorithms,
+    list_workloads,
+    run,
+)
+from repro.core.build_mst import BuildMST
+from repro.core.config import AlgorithmConfig
+from repro.dynamic import UpdateTrace
+from repro.generators import random_connected_graph
+
+ALGORITHMS = list_algorithms()
+WORKLOADS = list_workloads()
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """A small recorded trace so trace-replay participates in the grid."""
+    graph = random_connected_graph(12, 30, seed=3)
+    report = BuildMST(graph, config=AlgorithmConfig(n=12, seed=3)).run()
+    stream = get_workload("churn")(graph, report.forest, count=4, seed=3)
+    trace = UpdateTrace.record(graph, report.forest, stream, mode="mst", seed=3)
+    path = tmp_path_factory.mktemp("traces") / "grid.trace.json"
+    trace.save(path)
+    return str(path)
+
+
+def _workload_spec(name, trace_path):
+    params = {"path": trace_path} if name == "trace-replay" else {}
+    return WorkloadSpec(name=name, updates=4, params=params)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_every_algorithm_workload_combination_round_trips(
+    algorithm, workload, trace_path
+):
+    spec = ExperimentSpec(
+        graph=GraphSpec(nodes=12, density="sparse", seed=7),
+        workload=_workload_spec(workload, trace_path),
+        schedule=ScheduleSpec(scheduler="random"),
+    )
+    assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    result = run(algorithm, spec)
+    assert result.ok, result.checks
+    restored = RunResult.from_json(result.to_json())
+    assert restored.to_dict() == result.to_dict()
+    assert restored.workload == result.workload
+    assert restored.schedule == result.schedule
+    assert restored.spec == spec.graph
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_bare_graph_spec_results_still_round_trip(algorithm):
+    result = run(algorithm, GraphSpec(nodes=12, density="sparse", seed=7))
+    restored = RunResult.from_json(result.to_json())
+    assert restored.to_dict() == result.to_dict()
+    assert restored.schedule is None
+    if algorithm in ("kkt-repair", "recompute-repair"):
+        # Repair always runs a workload; the implicit default is recorded.
+        assert restored.workload == result.workload
+        assert restored.workload.name == "churn"
+    else:
+        assert restored.workload is None
+
+
+def test_pr1_result_payloads_still_load():
+    """Payloads without workload/schedule fields (PR-1 records) stay loadable."""
+    result = run("kkt-st", GraphSpec(nodes=12, density="sparse", seed=7))
+    payload = result.to_dict()
+    payload.pop("workload")
+    payload.pop("schedule")
+    restored = RunResult.from_dict(payload)
+    assert restored.counters() == result.counters()
+    assert restored.workload is None and restored.schedule is None

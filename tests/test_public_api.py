@@ -47,11 +47,43 @@ class TestExports:
             "list_algorithms",
             "register",
             "run",
+            # scenario API
+            "ExperimentSpec",
+            "ScheduleSpec",
+            "WorkloadSpec",
+            "get_workload",
+            "list_workloads",
+            "register_workload",
+            "scenario_grid",
+            # delivery schedulers
+            "Scheduler",
+            "FifoScheduler",
+            "LifoScheduler",
+            "RandomScheduler",
+            "EdgeDelayScheduler",
+            "make_scheduler",
         ],
     )
     def test_top_level_names_exist(self, name):
         assert name in repro.__all__
         assert hasattr(repro, name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["FifoScheduler", "LifoScheduler", "RandomScheduler", "EdgeDelayScheduler"],
+    )
+    def test_schedulers_exported_from_api_and_network(self, name):
+        from repro import api, network
+
+        assert name in api.__all__ and hasattr(api, name)
+        assert name in network.__all__ and hasattr(network, name)
+        assert getattr(repro, name) is getattr(network, name)
+
+    def test_scheduler_instances_satisfy_the_interface(self):
+        for name in ("fifo", "lifo", "random", "edge-delay"):
+            scheduler = repro.make_scheduler(name)
+            assert isinstance(scheduler, repro.Scheduler)
+            assert scheduler.empty()
 
     @pytest.mark.parametrize(
         "subpackage",
@@ -106,6 +138,12 @@ class TestDocstrings:
             "RunResult",
             "ExperimentEngine",
             "run",
+            "ExperimentSpec",
+            "ScheduleSpec",
+            "WorkloadSpec",
+            "Scheduler",
+            "make_scheduler",
+            "register_workload",
         ],
     )
     def test_public_objects_are_documented(self, obj_name):
