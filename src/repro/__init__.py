@@ -40,7 +40,8 @@ True
 
 from typing import Optional
 
-from . import analysis, baselines, core, dynamic, generators, network, verify
+from . import analysis, baselines, core, dynamic, fastpath, generators, network, verify
+from .fastpath import fast_path, reference_path
 from .core import (
     AlgorithmConfig,
     BuildMST,
@@ -86,7 +87,7 @@ from .api import (
     scenario_grid,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlgorithmConfig",
@@ -124,6 +125,8 @@ __all__ = [
     "build_st",
     "core",
     "dynamic",
+    "fast_path",
+    "fastpath",
     "generators",
     "get_runner",
     "get_workload",
@@ -131,6 +134,7 @@ __all__ = [
     "list_workloads",
     "make_scheduler",
     "network",
+    "reference_path",
     "register",
     "register_workload",
     "run",

@@ -1,0 +1,342 @@
+"""Benchmark trajectory harness: fast path vs reference, counters pinned.
+
+``repro bench`` runs each registered micro-benchmark twice — once with the
+reference implementations (:func:`repro.fastpath.reference_path`, i.e. the
+pre-fast-path code) and once with the fast path (cached tree structures,
+one-pass sketch kernels) — records the wall-clock of both, **asserts that
+every observable counter (messages, bits, rounds, broadcast-and-echoes,
+phases) is bit-identical**, and emits a machine-readable JSON record
+(``BENCH_PR3.json`` by default) so the repository accumulates a perf
+trajectory across PRs.
+
+Each benchmark builds its scenario from a :class:`~repro.api.spec.GraphSpec`
+with a fixed seed; only the algorithm under measurement is inside the timed
+region.  A counter divergence makes the run fail (non-zero exit from the
+CLI), which is what the CI benchmark smoke job keys off.
+
+Registered benchmarks
+---------------------
+``bench_build_mst`` / ``bench_build_st``
+    Full construction on dense graphs (the headline o(m) workload).
+``bench_findmin`` / ``bench_findany``
+    One search from the larger side of a broken spanning tree.
+``bench_testout``
+    A volley of TestOut / HP-TestOut calls over one cut.
+``bench_repair``
+    Impromptu repair under the registered ``churn`` workload.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import fastpath
+from .api.scenario import WorkloadSpec
+from .api.spec import GraphSpec
+from .core.build_mst import BuildMST
+from .core.build_st import BuildST
+from .core.config import AlgorithmConfig
+from .core.findany import FindAny
+from .core.findmin import FindMin
+from .core.testout import CutTester
+from .dynamic import TreeMaintainer
+from .generators import random_spanning_tree_forest
+from .network.accounting import MessageAccountant
+from .network.errors import AlgorithmError
+from .network.fragments import SpanningForest
+from .network.graph import Graph
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchRecord",
+    "list_benchmarks",
+    "run_benchmark",
+    "run_benchmarks",
+    "write_report",
+]
+
+#: Schema tag written into every report, bumped on breaking format changes.
+SCHEMA = "repro-bench/1"
+
+Counters = Dict[str, int]
+#: A benchmark body: (n, density, seed) -> (counters, num_edges).
+BenchFn = Callable[[int, str, int], Tuple[Counters, int]]
+
+
+@dataclass
+class _Benchmark:
+    fn: BenchFn
+    density: str
+    sizes: Tuple[int, ...]
+    quick_sizes: Tuple[int, ...]
+    summary: str
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark size, measured on both paths."""
+
+    benchmark: str
+    n: int
+    m: int
+    density: str
+    seed: int
+    counters: Counters
+    wall_s_reference: float
+    wall_s_fast: float
+    speedup: float
+    counters_equal: bool
+    reference_counters: Optional[Counters] = None  # only kept on divergence
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        if self.counters_equal:
+            payload.pop("reference_counters")
+        return payload
+
+
+BENCHMARKS: Dict[str, _Benchmark] = {}
+
+
+def _register(
+    name: str,
+    density: str,
+    sizes: Sequence[int],
+    quick_sizes: Sequence[int],
+    summary: str,
+) -> Callable[[BenchFn], BenchFn]:
+    def decorator(fn: BenchFn) -> BenchFn:
+        BENCHMARKS[name] = _Benchmark(
+            fn=fn,
+            density=density,
+            sizes=tuple(sizes),
+            quick_sizes=tuple(quick_sizes),
+            summary=summary,
+        )
+        return fn
+
+    return decorator
+
+
+def list_benchmarks() -> List[str]:
+    return sorted(BENCHMARKS)
+
+
+# ---------------------------------------------------------------------- #
+# shared scenario builders
+# ---------------------------------------------------------------------- #
+def _graph(n: int, density: str, seed: int) -> Graph:
+    return GraphSpec(nodes=n, density=density, seed=seed).build()
+
+
+def _broken_tree(n: int, density: str, seed: int) -> Tuple[Graph, SpanningForest, int]:
+    """A random spanning tree with one edge removed; root = larger side."""
+    graph = _graph(n, density, seed)
+    forest = random_spanning_tree_forest(graph, seed=seed + 1)
+    key = sorted(forest.marked_edges)[n // 3]
+    forest.unmark(*key)
+    root = max(key, key=lambda node: len(forest.component_of(node)))
+    return graph, forest, root
+
+
+def _build_counters(report) -> Counters:
+    return {
+        "messages": report.messages,
+        "bits": report.bits,
+        "rounds": report.rounds_parallel,
+        "phases": report.phases,
+        "broadcast_echoes": report.broadcast_echoes,
+    }
+
+
+def _accountant_counters(accountant: MessageAccountant) -> Counters:
+    return dict(accountant.summary())
+
+
+# ---------------------------------------------------------------------- #
+# benchmark bodies (the timed region is the algorithm only)
+# ---------------------------------------------------------------------- #
+@_register(
+    "bench_build_mst",
+    density="dense",
+    sizes=(256, 512, 1024),
+    quick_sizes=(1024,),
+    summary="KKT Build-MST on a dense graph",
+)
+def _bench_build_mst(n: int, density: str, seed: int) -> Tuple[Counters, int]:
+    graph = _graph(n, density, seed)
+    report = BuildMST(graph, config=AlgorithmConfig(n=n, seed=seed)).run()
+    return _build_counters(report), graph.num_edges
+
+
+@_register(
+    "bench_build_st",
+    density="dense",
+    sizes=(256, 512),
+    quick_sizes=(512,),
+    summary="KKT Build-ST on a dense graph",
+)
+def _bench_build_st(n: int, density: str, seed: int) -> Tuple[Counters, int]:
+    graph = _graph(n, density, seed)
+    report = BuildST(graph, config=AlgorithmConfig(n=n, seed=seed)).run()
+    return _build_counters(report), graph.num_edges
+
+
+@_register(
+    "bench_findmin",
+    density="dense",
+    sizes=(512, 1024),
+    quick_sizes=(512,),
+    summary="FindMin from the larger side of a broken spanning tree",
+)
+def _bench_findmin(n: int, density: str, seed: int) -> Tuple[Counters, int]:
+    graph, forest, root = _broken_tree(n, density, seed)
+    accountant = MessageAccountant()
+    FindMin(graph, forest, AlgorithmConfig(n=n, seed=seed), accountant).find_min(root)
+    return _accountant_counters(accountant), graph.num_edges
+
+
+@_register(
+    "bench_findany",
+    density="dense",
+    sizes=(512, 1024),
+    quick_sizes=(1024,),
+    summary="FindAny from the larger side of a broken spanning tree",
+)
+def _bench_findany(n: int, density: str, seed: int) -> Tuple[Counters, int]:
+    graph, forest, root = _broken_tree(n, density, seed)
+    accountant = MessageAccountant()
+    # A handful of independent calls so the timed region is not dominated by
+    # a single lucky attempt (each call re-derives its hashes from the seed).
+    for repeat in range(4):
+        finder = FindAny(
+            graph, forest, AlgorithmConfig(n=n, seed=seed + repeat), accountant
+        )
+        finder.find_any(root)
+    return _accountant_counters(accountant), graph.num_edges
+
+
+@_register(
+    "bench_testout",
+    density="dense",
+    sizes=(512, 1024),
+    quick_sizes=(1024,),
+    summary="TestOut x16 + HP-TestOut x4 over one cut",
+)
+def _bench_testout(n: int, density: str, seed: int) -> Tuple[Counters, int]:
+    graph, forest, root = _broken_tree(n, density, seed)
+    accountant = MessageAccountant()
+    tester = CutTester(graph, forest, AlgorithmConfig(n=n, seed=seed), accountant)
+    for _ in range(16):
+        tester.test_out(root)
+    for _ in range(4):
+        tester.hp_test_out(root)
+    return _accountant_counters(accountant), graph.num_edges
+
+
+@_register(
+    "bench_repair",
+    density="sparse",
+    sizes=(512, 1024),
+    quick_sizes=(512,),
+    summary="Impromptu MST repair under the churn workload (16 updates)",
+)
+def _bench_repair(n: int, density: str, seed: int) -> Tuple[Counters, int]:
+    graph = _graph(n, density, seed)
+    config = AlgorithmConfig(n=n, seed=seed)
+    report = BuildMST(graph, config=config).run()
+    workload = WorkloadSpec(name="churn", updates=16).resolve_seed(seed)
+    stream = workload.build(graph, report.forest)
+    maintainer = TreeMaintainer(graph, report.forest, mode="mst", seed=seed)
+    maintainer.apply_stream(stream)
+    return _accountant_counters(maintainer.accountant), graph.num_edges
+
+
+# ---------------------------------------------------------------------- #
+# driver
+# ---------------------------------------------------------------------- #
+def run_benchmark(name: str, n: int, seed: int = 2015) -> BenchRecord:
+    """Run one benchmark size on both paths and compare."""
+    try:
+        bench = BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(list_benchmarks())
+        raise AlgorithmError(
+            f"unknown benchmark {name!r}; registered benchmarks: {known}"
+        ) from None
+
+    with fastpath.reference_path():
+        start = time.perf_counter()
+        reference_counters, _ = bench.fn(n, bench.density, seed)
+        wall_reference = time.perf_counter() - start
+    with fastpath.fast_path():
+        start = time.perf_counter()
+        fast_counters, m = bench.fn(n, bench.density, seed)
+        wall_fast = time.perf_counter() - start
+
+    equal = fast_counters == reference_counters
+    return BenchRecord(
+        benchmark=name,
+        n=n,
+        m=m,
+        density=bench.density,
+        seed=seed,
+        counters=fast_counters,
+        wall_s_reference=round(wall_reference, 4),
+        wall_s_fast=round(wall_fast, 4),
+        speedup=round(wall_reference / max(wall_fast, 1e-9), 2),
+        counters_equal=equal,
+        reference_counters=None if equal else reference_counters,
+    )
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 2015,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the selected benchmarks; returns the JSON-ready report dict.
+
+    ``sizes`` overrides every benchmark's size list (used by tests and for
+    quick local iteration); otherwise ``quick`` selects the smaller
+    per-benchmark size lists.
+    """
+    selected = list(names) if names else list_benchmarks()
+    records: List[BenchRecord] = []
+    for name in selected:
+        if name not in BENCHMARKS:
+            known = ", ".join(list_benchmarks())
+            raise AlgorithmError(
+                f"unknown benchmark {name!r}; registered benchmarks: {known}"
+            )
+        bench = BENCHMARKS[name]
+        bench_sizes = tuple(sizes) if sizes else (
+            bench.quick_sizes if quick else bench.sizes
+        )
+        for n in bench_sizes:
+            if progress is not None:
+                progress(f"{name} n={n} ({bench.density}) ...")
+            records.append(run_benchmark(name, n, seed=seed))
+    return {
+        "schema": SCHEMA,
+        "created_unix": round(time.time(), 1),
+        "python": platform.python_version(),
+        "quick": quick,
+        "seed": seed,
+        "counters_equal": all(record.counters_equal for record in records),
+        "results": [record.to_dict() for record in records],
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> str:
+    """Write the report as pretty JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

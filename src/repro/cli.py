@@ -20,6 +20,8 @@ worker processes.
   per-update costs;
 * ``trace record`` / ``trace replay`` — save a workload run as a JSON trace
   and replay it bit-for-bit later;
+* ``bench`` — time the registered micro-benchmarks on the fast path *and*
+  the reference path, assert counter equality and write ``BENCH_PR3.json``;
 * ``selfcheck`` — run a quick end-to-end correctness pass.
 
 ``--json`` (on ``run``, ``compare``, ``sweep`` and ``suite``) emits one
@@ -45,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -203,6 +206,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1, help="worker processes")
     sweep.add_argument("--json", action="store_true",
                        help="emit one RunResult JSON record per line")
+
+    from .bench import list_benchmarks
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="time the micro-benchmarks: fast path vs reference, counters pinned",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="run the smaller per-benchmark size lists")
+    bench.add_argument("--benchmarks", nargs="+", metavar="benchmark",
+                       choices=list_benchmarks(),
+                       help="subset of benchmarks to run (default: all)")
+    bench.add_argument("--sizes", type=int, nargs="+",
+                       help="override every benchmark's node counts")
+    bench.add_argument("--seed", type=int, default=2015)
+    bench.add_argument("--json", action="store_true",
+                       help="print the report JSON to stdout instead of a table")
+    bench.add_argument("--out", metavar="PATH", default="BENCH_PR3.json",
+                       help="where to write the JSON report "
+                            "(default: %(default)s; '-' disables the file)")
 
     subparsers.add_parser("selfcheck", help="quick end-to-end correctness pass")
     return parser
@@ -550,6 +573,48 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from .bench import run_benchmarks, write_report
+
+    progress = None if args.json else lambda line: print(f"bench: {line}", flush=True)
+    report = run_benchmarks(
+        names=args.benchmarks,
+        quick=args.quick,
+        sizes=args.sizes,
+        seed=args.seed,
+        progress=progress,
+    )
+    if args.out and args.out != "-":
+        write_report(report, args.out)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        table = ExperimentTable(
+            "bench",
+            "Fast path vs reference (counters must be bit-identical)",
+            ["benchmark", "n", "m", "msgs", "ref s", "fast s", "speedup", "counters =="],
+        )
+        for record in report["results"]:
+            table.add_row(
+                record["benchmark"],
+                record["n"],
+                record["m"],
+                record["counters"]["messages"],
+                record["wall_s_reference"],
+                record["wall_s_fast"],
+                record["speedup"],
+                record["counters_equal"],
+            )
+        if args.out and args.out != "-":
+            table.add_note(f"report written to {args.out}")
+        print(table.render())
+    if not report["counters_equal"]:
+        print("repro: error: fast-path counters diverged from the reference path",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_selfcheck(_args: argparse.Namespace) -> int:
     checks = (
         ("build-mst", "kkt-mst", {}),
@@ -572,6 +637,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     handlers = {
         "run": _command_run,
+        "bench": _command_bench,
         "compare": _command_compare,
         "algorithms": _command_algorithms,
         "workloads": _command_workloads,

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from .. import fastpath
 from ..network.accounting import MessageAccountant
-from ..network.broadcast import TreeStructure, build_tree_structure
+from ..network.broadcast import TreeStructure
 from ..network.fragments import SpanningForest
 from ..network.graph import Edge, Graph
 from .config import AlgorithmConfig
@@ -41,6 +42,10 @@ from .primes import prime_for_field
 from .sketches import (
     local_prefix_parities,
     local_xor_below,
+    prefix_flip_masks,
+    prefix_parity_word,
+    unpack_parity_word,
+    xor_below_from_numbers,
     xor_combine,
     xor_vector_combine,
 )
@@ -72,7 +77,7 @@ class FindAny:
         """Run FindAny (or FindAny-C when ``capped``) from ``root``."""
         start = self.accountant.snapshot()
         start_be = self.accountant.broadcast_echoes
-        tree = build_tree_structure(self.forest, root)
+        tree = self.forest.rooted_structure(root)
 
         # Statistics B&E: maxEdgeNum (hash universe), B (range size, prime).
         stats = self.tester.tree_statistics(root, tree=tree)
@@ -123,32 +128,66 @@ class FindAny:
             rng=self.config.rng,
         )
 
-        # Step 3(a-c): prefix-parity vector, XORed up the tree.
-        def local_vector(node: int) -> List[int]:
-            numbers = [
-                e.edge_number(id_bits) for e in self.graph.incident_edges(node)
-            ]
-            return local_prefix_parities(numbers, pairwise)
+        fast = fastpath.is_enabled()
 
-        vector = self.tester.executor.broadcast_and_echo(
-            root=root,
-            local_value=local_vector,
-            combine=xor_vector_combine,
-            broadcast_bits=pairwise.description_bits(),
-            echo_bits=pairwise.log_range + 1,
-            tree=tree,
-            kind="findany:vector",
-        )
+        # Step 3(a-c): prefix-parity vector, XORed up the tree.  On the fast
+        # path the per-node vector is a single parity word (one hash per
+        # incident edge, all prefixes derived from its bit length) combined
+        # with int XOR; the echo width charged is identical.
+        if fast:
+            masks = prefix_flip_masks(pairwise.log_range)
+
+            def local_word(node: int) -> int:
+                return prefix_parity_word(
+                    self.graph.incident_arrays(node).numbers, pairwise, masks
+                )
+
+            word = self.tester.executor.broadcast_and_echo(
+                root=root,
+                local_value=local_word,
+                combine=xor_combine,
+                broadcast_bits=pairwise.description_bits(),
+                echo_bits=pairwise.log_range + 1,
+                tree=tree,
+                kind="findany:vector",
+            )
+            vector: List[int] = unpack_parity_word(word, pairwise.log_range + 1)
+        else:
+
+            def local_vector(node: int) -> List[int]:
+                numbers = [
+                    e.edge_number(id_bits) for e in self.graph.incident_edges(node)
+                ]
+                return local_prefix_parities(numbers, pairwise)
+
+            vector = self.tester.executor.broadcast_and_echo(
+                root=root,
+                local_value=local_vector,
+                combine=xor_vector_combine,
+                broadcast_bits=pairwise.description_bits(),
+                echo_bits=pairwise.log_range + 1,
+                tree=tree,
+                kind="findany:vector",
+            )
         min_prefix = next((i for i, bit in enumerate(vector) if bit), None)
         if min_prefix is None:
             return None
 
         # Step 3(d): XOR of edge numbers hashing below 2^min.
-        def local_xor(node: int) -> int:
-            numbers = [
-                e.edge_number(id_bits) for e in self.graph.incident_edges(node)
-            ]
-            return local_xor_below(numbers, pairwise, min_prefix)
+        if fast:
+
+            def local_xor(node: int) -> int:
+                return xor_below_from_numbers(
+                    self.graph.incident_arrays(node).numbers, pairwise, min_prefix
+                )
+
+        else:
+
+            def local_xor(node: int) -> int:
+                numbers = [
+                    e.edge_number(id_bits) for e in self.graph.incident_edges(node)
+                ]
+                return local_xor_below(numbers, pairwise, min_prefix)
 
         candidate = self.tester.executor.broadcast_and_echo(
             root=root,
@@ -163,12 +202,19 @@ class FindAny:
             return None
 
         # Step 4: the Test — count endpoints in T incident to the candidate.
-        def local_count(node: int) -> int:
-            return sum(
-                1
-                for e in self.graph.incident_edges(node)
-                if e.edge_number(id_bits) == candidate
-            )
+        if fast:
+
+            def local_count(node: int) -> int:
+                return self.graph.incident_arrays(node).numbers.count(candidate)
+
+        else:
+
+            def local_count(node: int) -> int:
+                return sum(
+                    1
+                    for e in self.graph.incident_edges(node)
+                    if e.edge_number(id_bits) == candidate
+                )
 
         def sum_combine(local_value: int, children: Sequence[int]) -> int:
             return local_value + sum(children)

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..network.accounting import CostDelta, MessageAccountant
-from ..network.broadcast import TreeStructure, build_tree_structure
+from ..network.broadcast import TreeStructure
 from ..network.errors import AlgorithmError
 from ..network.fragments import SpanningForest
 from ..network.graph import Edge, Graph
@@ -104,7 +104,7 @@ class FindMin:
         """
         start = self.accountant.snapshot()
         start_be = self.accountant.broadcast_echoes
-        tree = build_tree_structure(self.forest, root)
+        tree = self.forest.rooted_structure(root)
 
         # Step 2: one B&E for maxWt, maxEdgeNum and B; derive epsilon/p.
         stats = self.tester.tree_statistics(root, tree=tree)

@@ -67,10 +67,22 @@ class OddHashFunction:
         return 1 if value <= self.threshold else 0
 
     def parity_of(self, values: Iterable[int]) -> int:
-        """Parity of the number of elements of ``values`` hashing to 1."""
+        """Parity of the number of elements of ``values`` hashing to 1.
+
+        The multiply-threshold test is inlined so a whole incident-edge
+        array is hashed in one pass without per-element attribute lookups
+        (this is the building block of the fast sketch kernels in
+        :mod:`repro.core.sketches`).
+        """
+        multiplier = self.multiplier
+        threshold = self.threshold
+        mask = (1 << self.word_bits) - 1
         parity = 0
         for value in values:
-            parity ^= self(value)
+            if value < 0:
+                raise AlgorithmError("odd hash inputs must be non-negative")
+            if (multiplier * value) & mask <= threshold:
+                parity ^= 1
         return parity
 
     def description_bits(self) -> int:

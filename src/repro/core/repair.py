@@ -31,7 +31,6 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..network.accounting import CostDelta, MessageAccountant
-from ..network.broadcast import build_tree_structure
 from ..network.errors import AlgorithmError, GraphError
 from ..network.fragments import SpanningForest
 from ..network.graph import Edge, Graph, edge_key
@@ -241,7 +240,7 @@ class TreeRepairer:
         heaviest edge on the tree path from ``root`` to ``target``?"""
         id_bits = self.graph.id_bits
         executor = self._findmin.tester.executor
-        tree = build_tree_structure(self.forest, root)
+        tree = self.forest.rooted_structure(root)
 
         def propagate(parent_state, parent: int, child: int):
             edge = self.graph.get_edge(parent, child)

@@ -33,8 +33,9 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
+from .. import fastpath
 from ..network.accounting import MessageAccountant
-from ..network.broadcast import TreeStructure, build_tree_structure
+from ..network.broadcast import TreeStructure
 from ..network.fragments import SpanningForest
 from ..network.graph import Edge, Graph
 from .config import AlgorithmConfig
@@ -70,7 +71,7 @@ class SuperpolyFindMin:
         """Find the minimum-weight edge leaving ``T_root`` (∅ if none)."""
         start = self.accountant.snapshot()
         start_be = self.accountant.broadcast_echoes
-        tree = build_tree_structure(self.forest, root)
+        tree = self.forest.rooted_structure(root)
 
         stats = self.tester.tree_statistics(root, tree=tree)
         if not stats.has_incident_edges:
@@ -167,15 +168,25 @@ class SuperpolyFindMin:
         # from the run's reproducible stream but stays node-local.
         iteration_seed = self._rng.getrandbits(64)
 
+        fast = fastpath.is_enabled()
+
         def local(node: int) -> List[Tuple[float, int]]:
             node_rng = random.Random((iteration_seed << 20) ^ node)
             offers: List[Tuple[float, int]] = []
-            for edge in self.graph.incident_edges(node):
-                if self.forest.is_marked(edge.u, edge.v):
-                    continue
-                weight = edge.augmented_weight(id_bits)
-                if low <= weight <= high:
-                    offers.append((node_rng.random(), weight))
+            if fast:
+                arrays = self.graph.incident_arrays(node)
+                for edge, weight in zip(arrays.edges, arrays.augmented):
+                    if self.forest.is_marked(edge.u, edge.v):
+                        continue
+                    if low <= weight <= high:
+                        offers.append((node_rng.random(), weight))
+            else:
+                for edge in self.graph.incident_edges(node):
+                    if self.forest.is_marked(edge.u, edge.v):
+                        continue
+                    weight = edge.augmented_weight(id_bits)
+                    if low <= weight <= high:
+                        offers.append((node_rng.random(), weight))
             offers.sort()
             return offers[:count]
 

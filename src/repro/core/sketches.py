@@ -18,10 +18,27 @@ Every procedure in the paper aggregates *node-local* quantities up the tree:
 These are pure functions of a node's incident edge list plus the broadcast
 parameters, matching the locality contract of the broadcast-and-echo
 executor.
+
+Each kernel has two implementations:
+
+* the **reference** form (the original names below) — re-hashes every
+  incident edge once per prefix level / weight range, returning parity
+  *lists*;
+* the **one-pass** form (``prefix_parity_word``, ``range_parity_word``,
+  ``xor_below_from_numbers``) — hashes each incident edge exactly once,
+  derives every prefix parity from ``h(e).bit_length()`` (``h(e) < 2^i`` iff
+  ``i ≥ bitlen(h(e))``, so one XOR with a precomputed mask flips all the
+  prefixes an edge belongs to), locates the one weight range containing an
+  edge by bisection, and accumulates everything as single-int parity words.
+
+The two forms are numerically identical (pinned by ``tests/core/
+test_sketches.py``); :mod:`repro.fastpath` decides which one the procedures
+call.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Callable, Iterable, List, Sequence, Tuple
 
 from ..network.graph import Edge, Graph
@@ -32,6 +49,11 @@ __all__ = [
     "local_range_parities",
     "local_prefix_parities",
     "local_xor_below",
+    "range_parity_word",
+    "prefix_parity_word",
+    "prefix_flip_masks",
+    "xor_below_from_numbers",
+    "ranges_are_disjoint_sorted",
     "xor_combine",
     "xor_vector_combine",
     "pack_parity_word",
@@ -99,6 +121,102 @@ def local_xor_below(
     for edge_number in edge_numbers:
         if pairwise_hash(edge_number) < (1 << prefix_exponent):
             result ^= edge_number
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# one-pass fast kernels (see repro.fastpath)
+# ---------------------------------------------------------------------- #
+def ranges_are_disjoint_sorted(ranges: Sequence[Tuple[int, int]]) -> bool:
+    """True iff the ranges are sorted ascending and pairwise disjoint.
+
+    ``FindMin``'s ``w``-wise splits and ``Sample``'s pivot intervals always
+    are; the bisection kernel below requires it (an edge flips exactly one
+    range bit), so callers fall back to the reference kernel otherwise.
+    """
+    return all(
+        ranges[i][1] < ranges[i + 1][0] for i in range(len(ranges) - 1)
+    )
+
+
+def range_parity_word(
+    weights_sorted: Sequence[int],
+    edge_numbers: Sequence[int],
+    odd_hash: OddHashFunction,
+    lows: Sequence[int],
+    highs: Sequence[int],
+) -> int:
+    """One-pass, word-packed :func:`local_range_parities`.
+
+    ``weights_sorted`` must be ascending, with ``edge_numbers`` parallel to
+    it (the :class:`~repro.network.graph.IncidentArrays` ``aug_sorted`` /
+    ``numbers_by_aug`` pair); ``lows``/``highs`` are the (sorted, disjoint)
+    range bounds.  The kernel bisects straight to the incident edges inside
+    ``[lows[0], highs[-1]]`` — after a few FindMin narrowings that span is a
+    tiny fraction of the degree — hashes each exactly once (the
+    multiply-threshold test inlined), finds its containing range by a second
+    bisection, and accumulates the parities as a single int: bit ``i`` of the
+    result is ``local_range_parities(...)[i]``.
+    """
+    start = bisect_left(weights_sorted, lows[0])
+    stop = bisect_right(weights_sorted, highs[-1], start)
+    multiplier = odd_hash.multiplier
+    threshold = odd_hash.threshold
+    mask = (1 << odd_hash.word_bits) - 1
+    word = 0
+    for weight, number in zip(
+        weights_sorted[start:stop], edge_numbers[start:stop]
+    ):
+        if (multiplier * number) & mask <= threshold:
+            index = bisect_right(lows, weight) - 1
+            if weight <= highs[index]:
+                word ^= 1 << index
+    return word
+
+
+def prefix_flip_masks(log_range: int) -> List[int]:
+    """``masks[b]`` flips every prefix parity an edge with bit-length ``b`` joins.
+
+    ``h(e) < 2^i`` iff ``i >= h(e).bit_length()``, so hashing into value
+    ``v`` flips parities ``bitlen(v) .. log_range`` — one precomputed XOR
+    mask per possible bit length.
+    """
+    full = (1 << (log_range + 1)) - 1
+    return [full & ~((1 << b) - 1) for b in range(log_range + 1)]
+
+
+def prefix_parity_word(
+    edge_numbers: Sequence[int],
+    pairwise_hash: PairwiseIndependentHash,
+    masks: Sequence[int],
+) -> int:
+    """One-pass, word-packed :func:`local_prefix_parities`.
+
+    Bit ``i`` of the result is the parity of the incident edges hashing into
+    ``[2^i]``; ``masks`` comes from :func:`prefix_flip_masks`.  Each edge is
+    hashed exactly once instead of once per prefix level.
+    """
+    a, b, p = pairwise_hash.a, pairwise_hash.b, pairwise_hash.p
+    range_size = pairwise_hash.range_size
+    word = 0
+    for number in edge_numbers:
+        word ^= masks[(((a * number + b) % p) % range_size).bit_length()]
+    return word
+
+
+def xor_below_from_numbers(
+    edge_numbers: Sequence[int],
+    pairwise_hash: PairwiseIndependentHash,
+    prefix_exponent: int,
+) -> int:
+    """:func:`local_xor_below` over a precomputed edge-number array."""
+    a, b, p = pairwise_hash.a, pairwise_hash.b, pairwise_hash.p
+    range_size = pairwise_hash.range_size
+    limit = 1 << prefix_exponent
+    result = 0
+    for number in edge_numbers:
+        if ((a * number + b) % p) % range_size < limit:
+            result ^= number
     return result
 
 

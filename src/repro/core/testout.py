@@ -28,9 +28,11 @@ which is exactly the paper's device for making weights distinct.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .. import fastpath
 from ..network.accounting import MessageAccountant
 from ..network.broadcast import BroadcastEchoExecutor, TreeStructure
 from ..network.errors import AlgorithmError
@@ -40,7 +42,13 @@ from .config import AlgorithmConfig
 from .hashing import OddHashFunction, random_odd_hash
 from .polynomial import SetEqualitySketch
 from .primes import prime_for_field
-from .sketches import local_range_parities, pack_parity_word, unpack_parity_word
+from .sketches import (
+    local_range_parities,
+    pack_parity_word,
+    range_parity_word,
+    ranges_are_disjoint_sorted,
+    unpack_parity_word,
+)
 
 __all__ = ["TreeStatistics", "CutTester"]
 
@@ -90,15 +98,23 @@ class CutTester:
         """One broadcast-and-echo computing size, maxEdgeNum, maxWt and B."""
         id_bits = self.graph.id_bits
 
-        def local(node: int) -> Tuple[int, int, int, int]:
-            edges = self.graph.incident_edges(node)
-            max_edge_number = max(
-                (e.edge_number(id_bits) for e in edges), default=0
-            )
-            max_augmented = max(
-                (e.augmented_weight(id_bits) for e in edges), default=0
-            )
-            return (1, max_edge_number, max_augmented, len(edges))
+        if fastpath.is_enabled():
+
+            def local(node: int) -> Tuple[int, int, int, int]:
+                arrays = self.graph.incident_arrays(node)
+                return (1, arrays.max_number, arrays.max_augmented, len(arrays.numbers))
+
+        else:
+
+            def local(node: int) -> Tuple[int, int, int, int]:
+                edges = self.graph.incident_edges(node)
+                max_edge_number = max(
+                    (e.edge_number(id_bits) for e in edges), default=0
+                )
+                max_augmented = max(
+                    (e.augmented_weight(id_bits) for e in edges), default=0
+                )
+                return (1, max_edge_number, max_augmented, len(edges))
 
         def combine(local_value, children):
             size, max_en, max_aw, endpoints = local_value
@@ -109,7 +125,12 @@ class CutTester:
                 endpoints += child[3]
             return (size, max_en, max_aw, endpoints)
 
-        payload_bits = max(8, 2 * id_bits + self.graph.max_weight().bit_length() + 4)
+        max_weight = (
+            self.graph.cached_maxima()[1]
+            if fastpath.is_enabled()
+            else self.graph.max_weight()
+        )
+        payload_bits = max(8, 2 * id_bits + max_weight.bit_length() + 4)
         size, max_en, max_aw, endpoints = self.executor.broadcast_and_echo(
             root=root,
             local_value=local,
@@ -189,13 +210,27 @@ class CutTester:
             for (low, high) in ranges
         ]
 
-        def local(node: int) -> int:
-            incident = [
-                (e.augmented_weight(id_bits), e.edge_number(id_bits))
-                for e in self.graph.incident_edges(node)
-            ]
-            parities = local_range_parities(incident, hash_fn, resolved_ranges)
-            return pack_parity_word(parities)
+        if fastpath.is_enabled() and ranges_are_disjoint_sorted(resolved_ranges):
+            # One-pass kernel: hash each incident edge once, locate its
+            # weight range by bisection, accumulate a single parity word.
+            lows = [low for low, _ in resolved_ranges]
+            highs = [high for _, high in resolved_ranges]
+
+            def local(node: int) -> int:
+                arrays = self.graph.incident_arrays(node)
+                return range_parity_word(
+                    arrays.aug_sorted, arrays.numbers_by_aug, hash_fn, lows, highs
+                )
+
+        else:
+
+            def local(node: int) -> int:
+                incident = [
+                    (e.augmented_weight(id_bits), e.edge_number(id_bits))
+                    for e in self.graph.incident_edges(node)
+                ]
+                parities = local_range_parities(incident, hash_fn, resolved_ranges)
+                return pack_parity_word(parities)
 
         def combine(local_value: int, children: Sequence[int]) -> int:
             word = local_value
@@ -256,19 +291,43 @@ class CutTester:
         low_bound = low if low is not None else 0
         high_bound = high if high is not None else (1 << 256)
 
-        def local(node: int) -> SetEqualitySketch:
-            up_numbers = []
-            down_numbers = []
-            for edge in self.graph.incident_edges(node):
-                weight = edge.augmented_weight(id_bits)
-                if not (low_bound <= weight <= high_bound):
-                    continue
-                number = edge.edge_number(id_bits)
-                if node == edge.u:
-                    up_numbers.append(number)
-                else:
-                    down_numbers.append(number)
-            return SetEqualitySketch.from_local_edges(up_numbers, down_numbers, alpha, p)
+        if fastpath.is_enabled():
+
+            def local(node: int) -> SetEqualitySketch:
+                # Bisect to the incident edges inside the weight window and
+                # fold their (alpha - #e) factors directly; multiplication
+                # mod p is commutative, so the re-sorted order is harmless.
+                arrays = self.graph.incident_arrays(node)
+                weights = arrays.aug_sorted
+                start = bisect_left(weights, low_bound)
+                stop = bisect_right(weights, high_bound, start)
+                up_product = down_product = 1
+                for number, is_up in zip(
+                    arrays.numbers_by_aug[start:stop], arrays.up_by_aug[start:stop]
+                ):
+                    if is_up:
+                        up_product = (up_product * (alpha - number)) % p
+                    else:
+                        down_product = (down_product * (alpha - number)) % p
+                return SetEqualitySketch(up_product, down_product, alpha, p)
+
+        else:
+
+            def local(node: int) -> SetEqualitySketch:
+                up_numbers = []
+                down_numbers = []
+                for edge in self.graph.incident_edges(node):
+                    weight = edge.augmented_weight(id_bits)
+                    if not (low_bound <= weight <= high_bound):
+                        continue
+                    number = edge.edge_number(id_bits)
+                    if node == edge.u:
+                        up_numbers.append(number)
+                    else:
+                        down_numbers.append(number)
+                return SetEqualitySketch.from_local_edges(
+                    up_numbers, down_numbers, alpha, p
+                )
 
         def combine(local_value: SetEqualitySketch, children) -> SetEqualitySketch:
             return local_value.combine(list(children))

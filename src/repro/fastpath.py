@@ -1,0 +1,77 @@
+"""Global fast-path switch: cached tree structures and one-pass sketch kernels.
+
+The simulation has two execution paths through the sketch/broadcast stack:
+
+* the **fast path** (default) — rooted tree structures are cached on the
+  :class:`~repro.network.fragments.SpanningForest` and incrementally patched
+  on single-edge attach/detach, per-node incident-edge-number arrays are
+  precomputed and cached on the :class:`~repro.network.graph.Graph`, and the
+  sketch kernels hash each incident edge exactly once, deriving all prefix /
+  range parities with single-int word operations;
+
+* the **reference path** — the original straight-line implementations: the
+  rooted structure is rebuilt from the forest for every procedure call, and
+  the kernels re-hash every incident edge once per prefix level / weight
+  range.
+
+Both paths are *observably identical*: messages, bits, rounds and
+broadcast-and-echo counts are bit-for-bit equal (the equivalence suite in
+``tests/integration/test_fastpath_equivalence.py`` pins this for every
+registered algorithm, and ``repro bench`` asserts it on every run).  The
+reference path exists so the equivalence can be checked and the speedup
+measured honestly; everything else should leave the fast path on.
+
+The switch is process-global (not thread-local): flipping it mid-simulation
+is only meant for benchmarks and tests, which use the context managers::
+
+    from repro.fastpath import reference_path
+
+    with reference_path():
+        ...  # runs the original slow kernels
+
+Set the environment variable ``REPRO_FASTPATH=0`` to start with the
+reference path enabled (useful for A/B runs in CI).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["is_enabled", "set_enabled", "fast_path", "reference_path"]
+
+_enabled = os.environ.get("REPRO_FASTPATH", "1") not in ("0", "false", "off")
+
+
+def is_enabled() -> bool:
+    """True iff the fast path (caches + one-pass kernels) is active."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Set the switch; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous
+
+
+@contextmanager
+def fast_path() -> Iterator[None]:
+    """Force the fast path within the ``with`` block."""
+    previous = set_enabled(True)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+@contextmanager
+def reference_path() -> Iterator[None]:
+    """Force the original reference implementations within the ``with`` block."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -26,7 +26,8 @@ from .errors import (
     SimulationError,
 )
 from .fragments import SpanningForest
-from .graph import Edge, Graph, edge_key
+from .graph import Edge, Graph, IncidentArrays, edge_key
+from .tree_cache import TreeStructureCache, rooted_tree
 from .leader_election import ElectionResult, detect_cycle, elect_leader
 from .message import Message, message_bits_for_value
 from .node import ProtocolNode
@@ -57,6 +58,7 @@ __all__ = [
     "ForestError",
     "Graph",
     "GraphError",
+    "IncidentArrays",
     "LifoScheduler",
     "Message",
     "MessageAccountant",
@@ -71,8 +73,10 @@ __all__ = [
     "SpanningForest",
     "SynchronousSimulator",
     "TreeStructure",
+    "TreeStructureCache",
     "build_tree_structure",
     "detect_cycle",
+    "rooted_tree",
     "edge_key",
     "elect_leader",
     "list_schedulers",

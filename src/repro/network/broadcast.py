@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import fastpath
 from .accounting import MessageAccountant
 from .errors import ProtocolError, SimulationError
 from .fragments import SpanningForest
@@ -51,7 +52,14 @@ CombineFn = Callable[[Any, Sequence[Any]], Any]
 
 
 class TreeStructure:
-    """Rooted view of one maintained tree: parents, children, depths."""
+    """Rooted view of one maintained tree: parents, children, depths.
+
+    On the fast path (see :mod:`repro.fastpath`) structures live across many
+    broadcast-and-echoes via the
+    :class:`~repro.network.tree_cache.TreeStructureCache`, so the traversal
+    orders and the eccentricity are memoised; the cache calls
+    :meth:`invalidate_orders` whenever it patches the structure.
+    """
 
     def __init__(
         self,
@@ -64,6 +72,9 @@ class TreeStructure:
         self.parent = parent
         self.children = children
         self.depth = depth
+        self._postorder: Optional[List[int]] = None
+        self._preorder: Optional[List[int]] = None
+        self._eccentricity: Optional[int] = None
 
     @property
     def nodes(self) -> List[int]:
@@ -80,10 +91,27 @@ class TreeStructure:
     @property
     def eccentricity(self) -> int:
         """Depth of the deepest node (the root's eccentricity in the tree)."""
-        return max(self.depth.values(), default=0)
+        if self._eccentricity is not None:
+            return self._eccentricity
+        value = max(self.depth.values(), default=0)
+        if fastpath.is_enabled():
+            self._eccentricity = value
+        return value
+
+    def invalidate_orders(self) -> None:
+        """Forget memoised traversals after the structure was patched."""
+        self._postorder = None
+        self._preorder = None
+        self._eccentricity = None
 
     def postorder(self) -> List[int]:
-        """Nodes in post-order (children before parents), deterministic."""
+        """Nodes in post-order (children before parents), deterministic.
+
+        The returned list is memoised on the fast path — treat it as
+        read-only.
+        """
+        if self._postorder is not None:
+            return self._postorder
         order: List[int] = []
         stack: List[Tuple[int, bool]] = [(self.root, False)]
         while stack:
@@ -94,6 +122,29 @@ class TreeStructure:
             stack.append((node, True))
             for child in reversed(self.children[node]):
                 stack.append((child, False))
+        if fastpath.is_enabled():
+            self._postorder = order
+        return order
+
+    def preorder(self) -> List[int]:
+        """Nodes in pre-order (parents before children), deterministic.
+
+        Used by :meth:`BroadcastEchoExecutor.broadcast_with_downward_state`
+        for the downward sweep instead of reversing a fresh post-order copy.
+        The returned list is memoised on the fast path — treat it as
+        read-only.
+        """
+        if self._preorder is not None:
+            return self._preorder
+        order: List[int] = []
+        stack: List[int] = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            for child in reversed(self.children[node]):
+                stack.append(child)
+        if fastpath.is_enabled():
+            self._preorder = order
         return order
 
     def path_from_root(self, node: int) -> List[int]:
@@ -153,7 +204,7 @@ class BroadcastEchoExecutor:
         ``num_edges`` echo messages of ``echo_bits`` bits, and
         ``2 × eccentricity`` rounds (the paper's time for one B&E).
         """
-        structure = tree if tree is not None else build_tree_structure(self.forest, root)
+        structure = tree if tree is not None else self.forest.rooted_structure(root)
         self._charge(structure, broadcast_bits, echo_bits, kind)
         values: Dict[int, Any] = {}
         for node in structure.postorder():
@@ -169,7 +220,7 @@ class BroadcastEchoExecutor:
         kind: str = "bcast",
     ) -> TreeStructure:
         """A broadcast with no echo (e.g. "stop", "add edge", leader announce)."""
-        structure = tree if tree is not None else build_tree_structure(self.forest, root)
+        structure = tree if tree is not None else self.forest.rooted_structure(root)
         self.accountant.record_messages(structure.num_edges, broadcast_bits, kind=kind)
         self.accountant.record_rounds(structure.eccentricity)
         return structure
@@ -195,10 +246,10 @@ class BroadcastEchoExecutor:
         state)`` produces the node's local echo value, which is aggregated
         with ``combine`` as usual.
         """
-        structure = tree if tree is not None else build_tree_structure(self.forest, root)
+        structure = tree if tree is not None else self.forest.rooted_structure(root)
         self._charge(structure, broadcast_bits, echo_bits, kind)
         state: Dict[int, Any] = {structure.root: initial_state}
-        for node in structure.postorder()[::-1]:  # pre-order (parents first)
+        for node in structure.preorder():  # parents first
             for child in structure.children[node]:
                 state[child] = propagate(state[node], node, child)
         values: Dict[int, Any] = {}

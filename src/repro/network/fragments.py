@@ -15,21 +15,53 @@ the only state that persists between updates.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .errors import ForestError
 from .graph import Edge, Graph, edge_key
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .tree_cache import TreeStructureCache
+    from .broadcast import TreeStructure
+
 __all__ = ["SpanningForest"]
+
+#: How many mutations the journal retains.  A structure cached longer ago
+#: than this many mutations is rebuilt instead of patched.
+_JOURNAL_LIMIT = 1024
 
 
 class SpanningForest:
-    """The marked-edge state maintained by the network."""
+    """The marked-edge state maintained by the network.
+
+    Mutations are version-stamped: every :meth:`mark` / :meth:`unmark` /
+    :meth:`clear` bumps :attr:`version` and appends to a bounded journal, so
+    the :class:`~repro.network.tree_cache.TreeStructureCache` can patch a
+    cached rooted structure on single-edge attach/detach instead of
+    rebuilding it per broadcast-and-echo.  A sorted marked-adjacency map is
+    maintained incrementally, making :meth:`marked_neighbors` ``O(marked
+    degree)`` instead of ``O(degree)``.
+    """
 
     def __init__(self, graph: Graph, marked: Optional[Iterable[Tuple[int, int]]] = None):
         self.graph = graph
         self._marked: Set[Tuple[int, int]] = set()
+        self._marked_adj: Dict[int, List[int]] = {}
+        self._version = 0
+        self._journal: deque = deque()
+        self._structures: Optional["TreeStructureCache"] = None
         for u, v in marked or []:
             self.mark(u, v)
 
@@ -41,11 +73,22 @@ class SpanningForest:
         key = edge_key(u, v)
         if not self.graph.has_edge(*key):
             raise ForestError(f"cannot mark non-existent edge {key}")
+        if key in self._marked:
+            return
         self._marked.add(key)
+        insort(self._marked_adj.setdefault(key[0], []), key[1])
+        insort(self._marked_adj.setdefault(key[1], []), key[0])
+        self._record("mark", key)
 
     def unmark(self, u: int, v: int) -> None:
         """Remove the mark from ``{u, v}`` (no-op if it was unmarked)."""
-        self._marked.discard(edge_key(u, v))
+        key = edge_key(u, v)
+        if key not in self._marked:
+            return
+        self._marked.discard(key)
+        self._marked_adj[key[0]].remove(key[1])
+        self._marked_adj[key[1]].remove(key[0])
+        self._record("unmark", key)
 
     def is_marked(self, u: int, v: int) -> bool:
         return edge_key(u, v) in self._marked
@@ -54,22 +97,74 @@ class SpanningForest:
         """Unmark edges that no longer exist in the graph (after deletions)."""
         gone = [key for key in self._marked if not self.graph.has_edge(*key)]
         for key in gone:
-            self._marked.discard(key)
+            self.unmark(*key)
         return gone
 
     def clear(self) -> None:
         self._marked.clear()
+        self._marked_adj.clear()
+        self._record("clear", (0, 0))
+
+    # ------------------------------------------------------------------ #
+    # version stamping / structure cache plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter over the marked-edge state."""
+        return self._version
+
+    def _record(self, op: str, key: Tuple[int, int]) -> None:
+        self._version += 1
+        self._journal.append((self._version, op, key[0], key[1]))
+        if len(self._journal) > _JOURNAL_LIMIT:
+            self._journal.popleft()
+
+    def journal_since(self, version: int) -> Optional[List[Tuple[int, str, int, int]]]:
+        """Mutations recorded after ``version``, oldest first.
+
+        Returns ``None`` when the journal no longer reaches back that far
+        (the caller must rebuild instead of patching).
+        """
+        if version == self._version:
+            return []
+        if not self._journal or self._journal[0][0] > version + 1:
+            return None
+        return [entry for entry in self._journal if entry[0] > version]
+
+    @property
+    def structures(self) -> "TreeStructureCache":
+        """The forest's rooted-structure cache (created lazily)."""
+        if self._structures is None:
+            from .tree_cache import TreeStructureCache
+
+            self._structures = TreeStructureCache(self)
+        return self._structures
+
+    def rooted_structure(self, root: int) -> "TreeStructure":
+        """Rooted view of ``T_root`` — cached on the fast path.
+
+        With the fast path enabled (see :mod:`repro.fastpath`) this reuses
+        and incrementally patches a cached :class:`TreeStructure`; otherwise
+        it rebuilds from scratch, exactly like
+        :func:`~repro.network.broadcast.build_tree_structure`.
+        """
+        from .tree_cache import rooted_tree
+
+        return rooted_tree(self, root)
 
     # ------------------------------------------------------------------ #
     # node-local views (what a processor is allowed to know)
     # ------------------------------------------------------------------ #
     def marked_neighbors(self, node: int) -> List[int]:
-        """Neighbours of ``node`` connected by a marked edge (sorted)."""
-        return [
-            nbr
-            for nbr in self.graph.neighbors(node)
-            if edge_key(node, nbr) in self._marked
-        ]
+        """Neighbours of ``node`` connected by a marked edge (sorted).
+
+        Served from the incremental marked-adjacency map, which assumes the
+        "properly marked" invariant: a marked edge exists in the graph.
+        Deleting a graph edge therefore requires :meth:`unmark` (what the
+        repair algorithms do) or :meth:`drop_missing_edges` *before* the
+        forest is traversed again.
+        """
+        return list(self._marked_adj.get(node, ()))
 
     def unmarked_incident_edges(self, node: int) -> List[Edge]:
         """Incident edges of ``node`` that are not tree edges (sorted)."""

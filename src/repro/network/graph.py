@@ -25,11 +25,11 @@ primitive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from .errors import GraphError
 
-__all__ = ["Edge", "Graph", "edge_key"]
+__all__ = ["Edge", "Graph", "IncidentArrays", "edge_key"]
 
 
 def edge_key(u: int, v: int) -> Tuple[int, int]:
@@ -79,6 +79,32 @@ class Edge:
         return f"{{{self.u},{self.v}}}(w={self.weight})"
 
 
+class IncidentArrays(NamedTuple):
+    """Precomputed node-local sketch inputs for one node (fast path).
+
+    The sketch kernels consume, for every incident edge of a node, its edge
+    number, its augmented weight and its orientation (whether the node is the
+    smaller endpoint, i.e. the edge counts towards ``E↑``).  Recomputing
+    those per broadcast-and-echo dominated the profile, so they are computed
+    once per node per graph :attr:`~Graph.version` and cached on the graph.
+    Entries are parallel tuples sorted by the other endpoint's ID, matching
+    :meth:`Graph.incident_edges` order exactly.
+    """
+
+    edges: Tuple[Edge, ...]
+    numbers: Tuple[int, ...]
+    augmented: Tuple[int, ...]
+    up: Tuple[bool, ...]
+    max_number: int
+    max_augmented: int
+    #: The same incident edges re-sorted by augmented weight (with parallel
+    #: edge-number / orientation arrays), so weight-windowed kernels can
+    #: bisect to the qualifying span instead of scanning the full degree.
+    aug_sorted: Tuple[int, ...]
+    numbers_by_aug: Tuple[int, ...]
+    up_by_aug: Tuple[bool, ...]
+
+
 class Graph:
     """A dynamic, weighted, undirected communication graph.
 
@@ -97,6 +123,13 @@ class Graph:
             raise GraphError("id_bits must be positive")
         self._id_bits = id_bits
         self._adj: Dict[int, Dict[int, Edge]] = {}
+        # Version stamp: bumped on every topology/weight mutation, so the
+        # fast path can cache derived per-node arrays and whole-graph maxima.
+        self._version = 0
+        self._incident_cache: Dict[int, IncidentArrays] = {}
+        self._incident_cache_version = -1
+        self._maxima_cache: Optional[Tuple[int, int, int]] = None
+        self._maxima_cache_version = -1
 
     # ------------------------------------------------------------------ #
     # construction / mutation
@@ -105,11 +138,17 @@ class Graph:
     def id_bits(self) -> int:
         return self._id_bits
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (caches key off it)."""
+        return self._version
+
     def add_node(self, node: int) -> None:
         """Add an isolated node with identifier ``node``."""
         self._check_id(node)
         if node not in self._adj:
             self._adj[node] = {}
+            self._version += 1
 
     def add_edge(self, u: int, v: int, weight: int = 1) -> Edge:
         """Insert the edge ``{u, v}`` with the given weight.
@@ -127,6 +166,7 @@ class Graph:
         edge = Edge(a, b, weight)
         self._adj[a][b] = edge
         self._adj[b][a] = edge
+        self._version += 1
         return edge
 
     def remove_edge(self, u: int, v: int) -> Edge:
@@ -137,6 +177,7 @@ class Graph:
             del self._adj[b][a]
         except KeyError as exc:
             raise GraphError(f"edge ({a}, {b}) not present") from exc
+        self._version += 1
         return edge
 
     def remove_node(self, node: int) -> None:
@@ -146,6 +187,7 @@ class Graph:
         for other in list(self._adj[node]):
             self.remove_edge(node, other)
         del self._adj[node]
+        self._version += 1
 
     def set_weight(self, u: int, v: int, weight: int) -> Edge:
         """Change the weight of an existing edge and return the new Edge."""
@@ -262,6 +304,76 @@ class Graph:
         return max(
             (e.augmented_weight(self._id_bits) for e in self.edges()), default=0
         )
+
+    # ------------------------------------------------------------------ #
+    # fast-path caches (version-stamped; see repro.fastpath)
+    # ------------------------------------------------------------------ #
+    def incident_arrays(self, node: int) -> IncidentArrays:
+        """Cached :class:`IncidentArrays` for ``node`` at the current version.
+
+        The cache is invalidated wholesale whenever the graph mutates and
+        repopulated lazily per node, so a repair step pays for each node's
+        arrays at most once between updates instead of once per
+        broadcast-and-echo.
+        """
+        if self._incident_cache_version != self._version:
+            self._incident_cache.clear()
+            self._incident_cache_version = self._version
+        arrays = self._incident_cache.get(node)
+        if arrays is None:
+            try:
+                nbrs = self._adj[node]
+            except KeyError as exc:
+                raise GraphError(f"node {node} not present") from exc
+            id_bits = self._id_bits
+            shift = 2 * id_bits
+            edges = tuple(nbrs[v] for v in sorted(nbrs))
+            numbers = tuple((e.u << id_bits) | e.v for e in edges)
+            augmented = tuple(
+                (e.weight << shift) | num for e, num in zip(edges, numbers)
+            )
+            up = tuple(node == e.u for e in edges)
+            order = sorted(range(len(edges)), key=augmented.__getitem__)
+            arrays = IncidentArrays(
+                edges=edges,
+                numbers=numbers,
+                augmented=augmented,
+                up=up,
+                max_number=max(numbers, default=0),
+                max_augmented=max(augmented, default=0),
+                aug_sorted=tuple(augmented[i] for i in order),
+                numbers_by_aug=tuple(numbers[i] for i in order),
+                up_by_aug=tuple(up[i] for i in order),
+            )
+            self._incident_cache[node] = arrays
+        return arrays
+
+    def cached_maxima(self) -> Tuple[int, int, int]:
+        """Cached ``(max_edge_number, max_weight, max_augmented_weight)``.
+
+        One pass over the adjacency per graph version, replacing the
+        per-call full scans of :meth:`max_weight` and friends on hot paths.
+        """
+        if self._maxima_cache_version != self._version or self._maxima_cache is None:
+            max_number = 0
+            max_weight = 0
+            max_augmented = 0
+            id_bits = self._id_bits
+            shift = 2 * id_bits
+            for u, nbrs in self._adj.items():
+                for v, edge in nbrs.items():
+                    if u < v:
+                        number = (u << id_bits) | v
+                        if number > max_number:
+                            max_number = number
+                        if edge.weight > max_weight:
+                            max_weight = edge.weight
+                        augmented = (edge.weight << shift) | number
+                        if augmented > max_augmented:
+                            max_augmented = augmented
+            self._maxima_cache = (max_number, max_weight, max_augmented)
+            self._maxima_cache_version = self._version
+        return self._maxima_cache
 
     # ------------------------------------------------------------------ #
     # structure

@@ -24,6 +24,7 @@ any of them by their registered short name (``fifo`` / ``lifo`` / ``random``
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -184,14 +185,16 @@ class EdgeDelayScheduler(Scheduler):
         delay = self._delays.get(
             edge_key(message.sender, message.receiver), self._default_delay
         )
-        self._pending.append((self._counter + delay, self._counter, message))
+        # A binary heap replaces the old linear min-scan per pop; submission
+        # counters are unique, so (delivery time, counter) keys are total and
+        # the delivery order is identical to the scan's.
+        heapq.heappush(self._pending, (self._counter + delay, self._counter, message))
         self._counter += 1
 
     def pop(self) -> Message:
         if not self._pending:
             raise SimulationError("no pending messages")
-        index = min(range(len(self._pending)), key=lambda i: self._pending[i][:2])
-        return self._pending.pop(index)[2]
+        return heapq.heappop(self._pending)[2]
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -207,6 +210,10 @@ SCHEDULERS: Dict[str, type] = {
     "random": RandomScheduler,
     "edge-delay": EdgeDelayScheduler,
 }
+
+#: The registry is closed at import time, so the sorted name list is
+#: computed once here instead of on every list_schedulers()/CLI call.
+_SCHEDULER_NAMES: Tuple[str, ...] = tuple(sorted(SCHEDULERS))
 
 
 def _decode_delays(
@@ -245,7 +252,7 @@ def _decode_delays(
 
 def list_schedulers() -> List[str]:
     """The registered scheduler names, sorted."""
-    return sorted(SCHEDULERS)
+    return list(_SCHEDULER_NAMES)
 
 
 def make_scheduler(name: str, **params: Any) -> Scheduler:

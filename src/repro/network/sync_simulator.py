@@ -50,6 +50,9 @@ class SynchronousSimulator:
         self._outbox: List[Message] = []
         self._round = 0
         self._started = False
+        # Registration order is stable once start() runs; the sorted node
+        # list is computed once there instead of once per round in step().
+        self._node_order: List[int] = []
 
     # ------------------------------------------------------------------ #
     # setup
@@ -102,7 +105,8 @@ class SynchronousSimulator:
             missing = set(self.graph.nodes()) - set(self._nodes)
             raise SimulationError(f"nodes without a protocol: {sorted(missing)}")
         self._started = True
-        for node_id in sorted(self._nodes):
+        self._node_order = sorted(self._nodes)
+        for node_id in self._node_order:
             self._nodes[node_id].on_start()
 
     def step(self) -> int:
@@ -118,7 +122,7 @@ class SynchronousSimulator:
         for message in deliveries:
             per_node[message.receiver].append(message)
 
-        for node_id in sorted(self._nodes):
+        for node_id in self._node_order:
             self._nodes[node_id].on_round_begin(self._round)
         for node_id in sorted(per_node):
             node = self._nodes[node_id]

@@ -1,0 +1,103 @@
+"""Tests for the benchmark trajectory harness (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    list_benchmarks,
+    run_benchmark,
+    run_benchmarks,
+    write_report,
+)
+from repro.cli import build_parser, main
+from repro.network.errors import AlgorithmError
+
+
+class TestRegistry:
+    def test_expected_benchmarks_registered(self):
+        assert list_benchmarks() == [
+            "bench_build_mst",
+            "bench_build_st",
+            "bench_findany",
+            "bench_findmin",
+            "bench_repair",
+            "bench_testout",
+        ]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(AlgorithmError):
+            run_benchmark("bench_nonsense", 16)
+        with pytest.raises(AlgorithmError):
+            run_benchmarks(names=["bench_nonsense"], sizes=[16])
+
+
+class TestRunBenchmark:
+    def test_counters_pinned_and_record_shape(self):
+        record = run_benchmark("bench_findany", 32, seed=5)
+        assert record.counters_equal
+        assert record.reference_counters is None
+        assert record.n == 32 and record.m > 0
+        assert record.wall_s_fast > 0 and record.wall_s_reference > 0
+        assert set(record.counters) == {
+            "messages",
+            "bits",
+            "rounds",
+            "broadcast_echoes",
+        }
+        payload = record.to_dict()
+        assert "reference_counters" not in payload
+
+    def test_report_structure(self, tmp_path):
+        report = run_benchmarks(
+            names=["bench_testout", "bench_repair"], sizes=[24], seed=3
+        )
+        assert report["schema"] == SCHEMA
+        assert report["counters_equal"] is True
+        assert [r["benchmark"] for r in report["results"]] == [
+            "bench_testout",
+            "bench_repair",
+        ]
+        path = write_report(report, str(tmp_path / "bench.json"))
+        assert json.load(open(path)) == report
+
+    def test_sizes_override_applies_to_all(self):
+        report = run_benchmarks(names=["bench_build_st"], sizes=[16, 20])
+        assert [r["n"] for r in report["results"]] == [16, 20]
+
+
+class TestBenchCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "--quick"])
+        assert args.quick is True
+        assert args.out == "BENCH_PR3.json"
+        assert args.benchmarks is None
+
+    def test_bench_command_json(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "bench",
+                "--benchmarks",
+                "bench_findany",
+                "--sizes",
+                "24",
+                "--json",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counters_equal"] is True
+        assert json.load(open(out)) == report
+
+    def test_bench_command_table_without_file(self, capsys):
+        code = main(
+            ["bench", "--benchmarks", "bench_testout", "--sizes", "20", "--out", "-"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bench_testout" in out
+        assert "speedup" in out

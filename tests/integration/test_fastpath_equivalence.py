@@ -1,0 +1,106 @@
+"""Equivalence suite: fast path counters == reference path counters.
+
+The fast-path machinery (cached tree structures, one-pass word-batched
+sketch kernels, per-node incident arrays) must be *observably invisible*:
+for every registered algorithm, every density profile and every seed, the
+messages / bits / rounds / phases reported by a run with the fast path on
+must be bit-identical to a run with the reference implementations.  This is
+the contract ``repro bench`` relies on when it reports speedups.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.api import GraphSpec, get_runner, list_algorithms
+from repro.api.scenario import ExperimentSpec, WorkloadSpec
+
+ALGORITHMS = list_algorithms()
+DENSITIES = ["sparse", "dense"]
+SEEDS = [0, 1, 2]
+NODES = 24
+
+
+def _counters(result):
+    """Everything observable except wall-clock."""
+    payload = {
+        "algorithm": result.algorithm,
+        "n": result.n,
+        "m": result.m,
+        "messages": result.messages,
+        "bits": result.bits,
+        "rounds": result.rounds,
+        "phases": result.phases,
+        "checks": result.checks,
+        "extra": result.extra,
+    }
+    return payload
+
+
+def _run(algorithm, spec, **options):
+    return _counters(get_runner(algorithm).run(spec, **options))
+
+
+def test_all_six_algorithms_are_covered():
+    assert ALGORITHMS == [
+        "flooding",
+        "ghs",
+        "kkt-mst",
+        "kkt-repair",
+        "kkt-st",
+        "recompute-repair",
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_counters_bit_identical(algorithm, density, seed):
+    spec = GraphSpec(nodes=NODES, density=density, seed=seed)
+    with fastpath.reference_path():
+        reference = _run(algorithm, spec)
+    with fastpath.fast_path():
+        fast = _run(algorithm, spec)
+    assert fast == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("algorithm", ["kkt-repair", "recompute-repair"])
+def test_churn_workload_counters_bit_identical(algorithm, density, seed):
+    spec = ExperimentSpec(
+        graph=GraphSpec(nodes=NODES, density=density, seed=seed),
+        workload=WorkloadSpec(name="churn", updates=8),
+    )
+    with fastpath.reference_path():
+        reference = _run(algorithm, spec)
+    with fastpath.fast_path():
+        fast = _run(algorithm, spec)
+    assert fast == reference
+
+
+@pytest.mark.parametrize("algorithm", ["kkt-mst", "kkt-st"])
+def test_churn_prechurned_construction_counters_bit_identical(algorithm):
+    # Constructions under a workload run on the pre-churned topology; the
+    # graph mutations exercise the version-stamped caches directly.
+    spec = ExperimentSpec(
+        graph=GraphSpec(nodes=NODES, density="sparse", seed=1),
+        workload=WorkloadSpec(name="churn", updates=8),
+    )
+    with fastpath.reference_path():
+        reference = _run(algorithm, spec)
+    with fastpath.fast_path():
+        fast = _run(algorithm, spec)
+    assert fast == reference
+
+
+def test_st_mode_repair_counters_bit_identical():
+    # Build-ST + ST repair exercise the cycle-breaking (non-patchable) path.
+    spec = ExperimentSpec(
+        graph=GraphSpec(nodes=NODES, density="dense", seed=2),
+        workload=WorkloadSpec(name="churn", updates=8),
+    )
+    with fastpath.reference_path():
+        reference = _run("kkt-repair", spec, mode="st")
+    with fastpath.fast_path():
+        fast = _run("kkt-repair", spec, mode="st")
+    assert fast == reference

@@ -52,6 +52,32 @@ class TestTreeStructure:
         assert order.index(3) < order.index(2)
         assert order.index(5) < order.index(4)
 
+    def test_preorder_parents_before_children(self):
+        graph, forest = _tree_graph()
+        tree = build_tree_structure(forest, root=1)
+        order = tree.preorder()
+        assert order[0] == 1
+        assert sorted(order) == tree.nodes
+        for node in order:
+            if tree.parent[node] is not None:
+                assert order.index(tree.parent[node]) < order.index(node)
+
+    def test_preorder_visits_children_ascending(self):
+        graph, forest = _tree_graph()
+        tree = build_tree_structure(forest, root=1)
+        # Root 1 has children [2, 7]: 2's whole subtree precedes 7.
+        order = tree.preorder()
+        assert order.index(2) < order.index(7)
+        assert all(order.index(n) < order.index(7) for n in (3, 4, 5, 6))
+
+    def test_invalidate_orders_recomputes(self):
+        graph, forest = _tree_graph()
+        tree = build_tree_structure(forest, root=1)
+        before = tree.postorder()
+        tree.invalidate_orders()
+        assert tree.postorder() == before
+        assert tree.preorder()[0] == 1
+
     def test_path_from_root(self):
         graph, forest = _tree_graph()
         tree = build_tree_structure(forest, root=1)

@@ -1,0 +1,170 @@
+"""Tests for the rooted-structure cache and its journal-replay patching.
+
+The central property: whatever sequence of mark/unmark mutations the forest
+goes through, ``forest.rooted_structure(root)`` on the fast path must be
+*field-for-field identical* (root, parents, sorted children lists, depths)
+to a fresh ``build_tree_structure`` — that is what makes the cached counters
+(edge count, eccentricity, traversal orders) bit-identical to the reference
+path.
+"""
+
+import random
+
+import pytest
+
+from repro import fastpath
+from repro.generators import random_connected_graph, random_spanning_tree_forest
+from repro.network.broadcast import TreeStructure, build_tree_structure
+from repro.network.fragments import SpanningForest
+from repro.network.graph import Graph
+from repro.network.tree_cache import TreeStructureCache, rooted_tree
+
+
+def assert_same_structure(actual: TreeStructure, expected: TreeStructure) -> None:
+    assert actual.root == expected.root
+    assert actual.parent == expected.parent
+    assert actual.children == expected.children
+    assert actual.depth == expected.depth
+    assert actual.eccentricity == expected.eccentricity
+    assert actual.postorder() == expected.postorder()
+    assert actual.preorder() == expected.preorder()
+
+
+def path_forest(n: int = 8):
+    graph = Graph(id_bits=8)
+    for i in range(1, n):
+        graph.add_edge(i, i + 1, weight=i)
+    forest = SpanningForest(graph, marked=[(i, i + 1) for i in range(1, n)])
+    return graph, forest
+
+
+class TestVersioningAndJournal:
+    def test_version_bumps_on_mutation(self, triangle_graph):
+        forest = SpanningForest(triangle_graph)
+        v0 = forest.version
+        forest.mark(1, 2)
+        assert forest.version == v0 + 1
+        forest.mark(1, 2)  # re-marking is a no-op
+        assert forest.version == v0 + 1
+        forest.unmark(1, 2)
+        assert forest.version == v0 + 2
+        forest.unmark(1, 2)  # already unmarked: no-op
+        assert forest.version == v0 + 2
+
+    def test_journal_since(self, triangle_graph):
+        forest = SpanningForest(triangle_graph)
+        v0 = forest.version
+        forest.mark(1, 2)
+        forest.mark(2, 3)
+        ops = forest.journal_since(v0)
+        assert [(op, u, v) for _, op, u, v in ops] == [("mark", 1, 2), ("mark", 2, 3)]
+        assert forest.journal_since(forest.version) == []
+
+    def test_journal_forgets_old_history(self, triangle_graph):
+        from repro.network import fragments
+
+        forest = SpanningForest(triangle_graph)
+        v0 = forest.version
+        for _ in range(fragments._JOURNAL_LIMIT + 5):
+            forest.mark(1, 2)
+            forest.unmark(1, 2)
+        assert forest.journal_since(v0) is None
+
+
+class TestPatching:
+    def test_cache_hit_without_mutation(self, triangle_graph):
+        forest = SpanningForest(triangle_graph, marked=[(1, 2), (2, 3)])
+        cache = forest.structures
+        first = cache.get(1)
+        assert cache.get(1) is first
+        assert cache.hits == 1 and cache.rebuilds == 1
+
+    def test_attach_patches_instead_of_rebuilding(self):
+        graph, forest = path_forest(10)
+        forest.unmark(5, 6)
+        cache = forest.structures
+        structure = cache.get(1)
+        assert structure.size == 5
+        rebuilds = cache.rebuilds
+        forest.mark(5, 6)  # re-attach the tail: one-edge graft
+        patched = cache.get(1)
+        assert patched is structure
+        assert cache.rebuilds == rebuilds
+        assert_same_structure(patched, build_tree_structure(forest, 1))
+
+    def test_detach_patches_instead_of_rebuilding(self):
+        graph, forest = path_forest(10)
+        cache = forest.structures
+        structure = cache.get(1)
+        rebuilds = cache.rebuilds
+        forest.unmark(4, 5)
+        patched = cache.get(1)
+        assert patched is structure
+        assert cache.rebuilds == rebuilds
+        assert patched.size == 4
+        assert_same_structure(patched, build_tree_structure(forest, 1))
+
+    def test_cycle_mark_falls_back_to_rebuild(self):
+        graph = Graph(id_bits=8)
+        for u, v in [(1, 2), (2, 3), (3, 4), (1, 4)]:
+            graph.add_edge(u, v, weight=u + v)
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (3, 4)])
+        cache = forest.structures
+        cache.get(1)
+        rebuilds = cache.rebuilds
+        forest.mark(1, 4)  # closes a cycle: not patchable
+        patched = cache.get(1)
+        assert cache.rebuilds == rebuilds + 1
+        assert_same_structure(patched, build_tree_structure(forest, 1))
+
+    def test_clear_falls_back_to_rebuild(self):
+        graph, forest = path_forest(6)
+        cache = forest.structures
+        cache.get(1)
+        forest.clear()
+        structure = cache.get(1)
+        assert structure.size == 1
+
+    def test_lru_eviction(self):
+        graph, forest = path_forest(6)
+        cache = TreeStructureCache(forest, max_entries=2)
+        cache.get(1)
+        cache.get(2)
+        cache.get(3)  # evicts root 1
+        rebuilds = cache.rebuilds
+        cache.get(1)
+        assert cache.rebuilds == rebuilds + 1
+
+    def test_reference_path_bypasses_cache(self):
+        graph, forest = path_forest(5)
+        with fastpath.reference_path():
+            first = rooted_tree(forest, 1)
+            second = rooted_tree(forest, 1)
+        assert first is not second
+        with fastpath.fast_path():
+            third = rooted_tree(forest, 1)
+            assert rooted_tree(forest, 1) is third
+
+
+class TestFuzzAgainstRebuild:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_mutation_sequences(self, seed):
+        rng = random.Random(seed)
+        n = 24
+        graph = random_connected_graph(n, 3 * n, seed=seed)
+        forest = random_spanning_tree_forest(graph, seed=seed + 1)
+        edges = [(e.u, e.v) for e in graph.edges()]
+        nodes = graph.nodes()
+        for step in range(120):
+            op = rng.random()
+            if op < 0.4:
+                u, v = edges[rng.randrange(len(edges))]
+                if forest.is_marked(u, v):
+                    forest.unmark(u, v)
+                else:
+                    # May close a cycle — that exercises the rebuild fallback.
+                    forest.mark(u, v)
+            root = nodes[rng.randrange(len(nodes))]
+            cached = forest.rooted_structure(root)
+            rebuilt = build_tree_structure(forest, root)
+            assert_same_structure(cached, rebuilt)
