@@ -73,21 +73,25 @@ from .api import (
     ExperimentEngine,
     ExperimentJob,
     ExperimentSpec,
+    FaultSpec,
     GraphSpec,
     RunResult,
     ScheduleSpec,
     WorkloadSpec,
+    get_fault,
     get_runner,
     get_workload,
     list_algorithms,
+    list_faults,
     list_workloads,
     register,
+    register_fault,
     register_workload,
     run,
     scenario_grid,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AlgorithmConfig",
@@ -101,6 +105,7 @@ __all__ = [
     "ExperimentEngine",
     "ExperimentJob",
     "ExperimentSpec",
+    "FaultSpec",
     "FifoScheduler",
     "FindAny",
     "FindMin",
@@ -128,14 +133,17 @@ __all__ = [
     "fast_path",
     "fastpath",
     "generators",
+    "get_fault",
     "get_runner",
     "get_workload",
     "list_algorithms",
+    "list_faults",
     "list_workloads",
     "make_scheduler",
     "network",
     "reference_path",
     "register",
+    "register_fault",
     "register_workload",
     "run",
     "scenario_grid",

@@ -12,6 +12,9 @@ This package is the one public surface for *running* algorithms:
 * the scenario layer (:mod:`repro.api.scenario`) — a ``@register_workload``
   registry of named update workloads plus :class:`WorkloadSpec`,
   :class:`ScheduleSpec` and the combined :class:`ExperimentSpec`;
+* the fault layer (:mod:`repro.api.faults`) — a ``@register_fault`` registry
+  of named deterministic fault programs plus :class:`FaultSpec`, the fourth
+  axis of an :class:`ExperimentSpec`;
 * :class:`~repro.api.engine.ExperimentEngine` — deterministic serial or
   process-parallel execution of ``(algorithm, spec)`` job lists, including
   full scenario grids via :func:`scenario_grid` / ``run_suite``.
@@ -22,6 +25,14 @@ True
 """
 
 from .engine import ExperimentEngine, ExperimentJob, derive_seed, scenario_grid
+from .faults import (
+    FaultProgram,
+    FaultSpec,
+    fault_summaries,
+    get_fault,
+    list_faults,
+    register_fault,
+)
 from .registry import (
     AlgorithmRunner,
     algorithm_summaries,
@@ -66,6 +77,8 @@ __all__ = [
     "ExperimentEngine",
     "ExperimentJob",
     "ExperimentSpec",
+    "FaultProgram",
+    "FaultSpec",
     "FifoScheduler",
     "GraphSpec",
     "LifoScheduler",
@@ -79,13 +92,17 @@ __all__ = [
     "algorithm_summaries",
     "derive_seed",
     "edge_budget",
+    "fault_summaries",
+    "get_fault",
     "get_runner",
     "get_workload",
     "list_algorithms",
+    "list_faults",
     "list_schedulers",
     "list_workloads",
     "make_scheduler",
     "register",
+    "register_fault",
     "register_workload",
     "run",
     "runners",

@@ -16,7 +16,7 @@ worker.
 
 Scenario sweeps (:meth:`ExperimentEngine.run_suite` /
 :func:`scenario_grid`) extend the PR-1 (algorithm × size) grid to the full
-(graph × algorithm × workload × schedule) product.
+(graph × algorithm × workload × schedule × fault) product.
 """
 
 from __future__ import annotations
@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..network.errors import AlgorithmError
+from .faults import FaultSpec
 from .registry import get_runner, run
 from .result import RunResult
 from .scenario import ExperimentSpec, ScheduleSpec, WorkloadSpec
@@ -64,17 +65,19 @@ def scenario_grid(
     graphs: Sequence[GraphSpec],
     workloads: Sequence[Optional[Union[str, WorkloadSpec]]] = (None,),
     schedules: Sequence[Optional[Union[str, ScheduleSpec]]] = (None,),
+    faults: Sequence[Optional[Union[str, FaultSpec]]] = (None,),
     updates: Optional[int] = None,
     **options: Any,
 ) -> List[ExperimentJob]:
-    """The full scenario product: graph × algorithm × workload × schedule.
+    """The full scenario product: graph × algorithm × workload × schedule
+    × fault.
 
-    Workloads and schedules may be given as specs or as registered names
-    (``None`` keeps the dimension at its default: no workload for
-    construction algorithms / ``churn`` for repair, and default delivery).
-    ``updates`` caps name-given workloads; left ``None``, each workload uses
-    its natural length (the runner default, or the full trace for
-    ``trace-replay``).
+    Workloads, schedules and faults may be given as specs or as registered
+    names (``None`` keeps the dimension at its default: no workload for
+    construction algorithms / ``churn`` for repair, default delivery, and a
+    fault-free execution).  ``updates`` caps name-given workloads; left
+    ``None``, each workload uses its natural length (the runner default, or
+    the full trace for ``trace-replay``).
     """
     jobs: List[ExperimentJob] = []
     for graph in graphs:
@@ -84,9 +87,17 @@ def scenario_grid(
             for schedule in schedules:
                 if isinstance(schedule, str):
                     schedule = ScheduleSpec(scheduler=schedule)
-                spec = ExperimentSpec(graph=graph, workload=workload, schedule=schedule)
-                for algorithm in algorithms:
-                    jobs.append(ExperimentJob(algorithm, spec, dict(options)))
+                for fault in faults:
+                    if isinstance(fault, str):
+                        fault = FaultSpec(name=fault)
+                    spec = ExperimentSpec(
+                        graph=graph,
+                        workload=workload,
+                        schedule=schedule,
+                        faults=fault,
+                    )
+                    for algorithm in algorithms:
+                        jobs.append(ExperimentJob(algorithm, spec, dict(options)))
     return jobs
 
 

@@ -125,6 +125,7 @@ def run(
         isinstance(spec, ExperimentSpec)
         and spec.workload is None
         and spec.schedule is None
+        and spec.faults is None
     ):
         # A scenario that adds nothing over its graph spec is handed to the
         # runner as the bare GraphSpec, so PR-1-style runners registered by

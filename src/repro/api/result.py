@@ -8,11 +8,13 @@ produce now: algorithm name, the :class:`~repro.api.spec.GraphSpec` that
 built the input, the cost counters the paper bounds (messages / bits /
 rounds / phases), wall time, and the validity checks that were run.
 
-Scenario runs additionally record *workload* and *schedule* provenance (the
-resolved :class:`~repro.api.scenario.WorkloadSpec` /
-:class:`~repro.api.scenario.ScheduleSpec`), so a suite's JSON lines say not
-just which algorithm ran but under which update stream and which delivery
-adversary.
+Scenario runs additionally record *workload*, *schedule* and *fault*
+provenance (the resolved :class:`~repro.api.scenario.WorkloadSpec` /
+:class:`~repro.api.scenario.ScheduleSpec` /
+:class:`~repro.api.faults.FaultSpec`), so a suite's JSON lines say not just
+which algorithm ran but under which update stream, which delivery adversary
+and which fault program (the observed fault history itself lands in
+``extra["fault_events"]``).
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from ..network.errors import AlgorithmError
+from .faults import FaultSpec
 from .scenario import ScheduleSpec, WorkloadSpec
 from .spec import GraphSpec
 
@@ -45,6 +48,7 @@ class RunResult:
     extra: Dict[str, Any] = field(default_factory=dict)
     workload: Optional[WorkloadSpec] = None
     schedule: Optional[ScheduleSpec] = None
+    faults: Optional[FaultSpec] = None
 
     # ------------------------------------------------------------------ #
     # derived quantities
@@ -85,6 +89,7 @@ class RunResult:
             "extra": dict(self.extra),
             "workload": None if self.workload is None else self.workload.to_dict(),
             "schedule": None if self.schedule is None else self.schedule.to_dict(),
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
     @classmethod
@@ -117,6 +122,11 @@ class RunResult:
                 None
                 if payload.get("schedule") is None
                 else ScheduleSpec.from_dict(payload["schedule"])
+            ),
+            faults=(
+                None
+                if payload.get("faults") is None
+                else FaultSpec.from_dict(payload["faults"])
             ),
         )
 

@@ -1,9 +1,11 @@
-"""Declarative scenarios: ``ExperimentSpec = GraphSpec × WorkloadSpec × ScheduleSpec``.
+"""Declarative scenarios: ``ExperimentSpec = GraphSpec × WorkloadSpec ×
+ScheduleSpec × FaultSpec``.
 
 The paper's second headline result (Theorem 1.2) is impromptu repair under an
 *arbitrary* stream of edge updates in the *asynchronous* model — so "which
-algorithm" is only a third of an experiment's description.  This module adds
-the other two thirds:
+algorithm" is only part of an experiment's description.  This module adds
+the workload and schedule axes (the fault axis lives in
+:mod:`repro.api.faults`):
 
 * :class:`WorkloadSpec` names a registered update-workload generator (via
   :func:`register_workload`, mirroring the algorithm registry) plus its
@@ -12,9 +14,11 @@ the other two thirds:
   :mod:`repro.network.scheduler` (``fifo`` / ``lifo`` / ``random`` /
   ``edge-delay``) plus its parameters, so runs execute under an adversarial
   delivery order;
-* :class:`ExperimentSpec` bundles the three specs into one serialisable
-  description that round-trips through JSON, ships to worker processes and is
-  recorded in every :class:`~repro.api.result.RunResult` as provenance.
+* :class:`ExperimentSpec` bundles the axes — including an optional
+  :class:`~repro.api.faults.FaultSpec` naming a registered fault program —
+  into one serialisable description that round-trips through JSON, ships to
+  worker processes and is recorded in every
+  :class:`~repro.api.result.RunResult` as provenance.
 
 Registered workloads
 --------------------
@@ -53,6 +57,7 @@ from ..network.errors import AlgorithmError
 from ..network.fragments import SpanningForest
 from ..network.graph import Graph
 from ..network.scheduler import SCHEDULERS, Scheduler, make_scheduler
+from .faults import FaultSpec
 from .spec import GraphSpec
 
 __all__ = [
@@ -339,14 +344,18 @@ class ExperimentSpec:
     ``graph`` says what network to build, ``workload`` what update stream
     hits it (``None`` for static construction-only runs), ``schedule`` under
     what adversarial delivery order messages arrive (``None`` for the default
-    FIFO / synchronous execution).  An :class:`ExperimentSpec` plus an
-    algorithm name reproduces a run anywhere — that pair is exactly what
+    FIFO / synchronous execution), and ``faults`` what goes wrong while it
+    runs (``None`` — like the registered ``none`` program — for a fault-free
+    execution; specs serialised before the fault axis existed parse
+    unchanged).  An :class:`ExperimentSpec` plus an algorithm name reproduces
+    a run anywhere — that pair is exactly what
     :meth:`ExperimentEngine.run_suite` fans out over worker processes.
     """
 
     graph: GraphSpec
     workload: Optional[WorkloadSpec] = None
     schedule: Optional[ScheduleSpec] = None
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.graph, GraphSpec):
@@ -384,6 +393,16 @@ class ExperimentSpec:
             return None
         return self.schedule.resolve_seed(self.graph.seed)
 
+    def resolved_faults(self) -> Optional[FaultSpec]:
+        """The effective fault model with its seed filled in, if any.
+
+        ``None`` and the registered ``none`` program both mean a fault-free
+        run; callers can test :attr:`FaultSpec.is_none`.
+        """
+        if self.faults is None:
+            return None
+        return self.faults.resolve_seed(self.graph.seed)
+
     # ------------------------------------------------------------------ #
     # serialisation
     # ------------------------------------------------------------------ #
@@ -392,11 +411,12 @@ class ExperimentSpec:
             "graph": self.graph.to_dict(),
             "workload": None if self.workload is None else self.workload.to_dict(),
             "schedule": None if self.schedule is None else self.schedule.to_dict(),
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
-        known = {"graph", "workload", "schedule"}
+        known = {"graph", "workload", "schedule", "faults"}
         unknown = set(payload) - known
         if unknown:
             raise AlgorithmError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
@@ -404,10 +424,12 @@ class ExperimentSpec:
             raise AlgorithmError("ExperimentSpec payload needs a 'graph' field")
         workload = payload.get("workload")
         schedule = payload.get("schedule")
+        faults = payload.get("faults")
         return cls(
             graph=GraphSpec.from_dict(payload["graph"]),
             workload=None if workload is None else WorkloadSpec.from_dict(workload),
             schedule=None if schedule is None else ScheduleSpec.from_dict(schedule),
+            faults=None if faults is None else FaultSpec.from_dict(faults),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 from ..network.accounting import MessageAccountant
 from ..network.async_simulator import AsynchronousSimulator
 from ..network.errors import AlgorithmError
+from ..network.faults import FaultInjector
 from ..network.fragments import SpanningForest
 from ..network.graph import Graph
 from ..network.message import Message
@@ -66,12 +67,16 @@ def flooding_spanning_tree(
     engine: str = "sync",
     scheduler: Optional[Scheduler] = None,
     accountant: Optional[MessageAccountant] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> Tuple[SpanningForest, MessageAccountant]:
     """Build a broadcast tree by flooding from ``source``.
 
     Returns the resulting spanning forest (one tree per connected component
     reachable from the source; unreachable components stay unmarked, matching
-    what flooding can achieve) and the accountant with the Θ(m) cost.
+    what flooding can achieve) and the accountant with the Θ(m) cost.  An
+    optional :class:`~repro.network.faults.FaultInjector` is installed at the
+    engine's delivery boundary; nodes cut off by crashes or message loss
+    simply stay outside the tree.
     """
     if graph.num_nodes == 0:
         raise AlgorithmError("cannot flood an empty graph")
@@ -83,9 +88,11 @@ def flooding_spanning_tree(
 
     acct = accountant if accountant is not None else MessageAccountant()
     if engine == "sync":
-        sim = SynchronousSimulator(graph, accountant=acct)
+        sim = SynchronousSimulator(graph, accountant=acct, faults=faults)
     elif engine == "async":
-        sim = AsynchronousSimulator(graph, scheduler=scheduler, accountant=acct)
+        sim = AsynchronousSimulator(
+            graph, scheduler=scheduler, accountant=acct, faults=faults
+        )
     else:
         raise AlgorithmError(f"unknown engine {engine!r}")
 

@@ -6,8 +6,12 @@ pre-fast-path code) and once with the fast path (cached tree structures,
 one-pass sketch kernels) — records the wall-clock of both, **asserts that
 every observable counter (messages, bits, rounds, broadcast-and-echoes,
 phases) is bit-identical**, and emits a machine-readable JSON record
-(``BENCH_PR3.json`` by default) so the repository accumulates a perf
-trajectory across PRs.
+(``BENCH_PR4.json`` by default) so the repository accumulates a perf
+trajectory across PRs.  :func:`compare_to_baseline` turns two such reports
+into per-benchmark speedup deltas (``repro bench --baseline BENCH_PR3.json``
+prints them and exits non-zero on a >25% regression); speedups — the
+reference/fast wall-clock *ratio* — are compared rather than raw wall
+seconds, so the gate is meaningful across machines of different speeds.
 
 Each benchmark builds its scenario from a :class:`~repro.api.spec.GraphSpec`
 with a fixed seed; only the algorithm under measurement is inside the timed
@@ -53,7 +57,10 @@ from .network.graph import Graph
 __all__ = [
     "BENCHMARKS",
     "BenchRecord",
+    "REGRESSION_THRESHOLD",
+    "compare_to_baseline",
     "list_benchmarks",
+    "load_report",
     "run_benchmark",
     "run_benchmarks",
     "write_report",
@@ -340,3 +347,83 @@ def write_report(report: Dict[str, Any], path: str) -> str:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+# ---------------------------------------------------------------------- #
+# trajectory comparison (`repro bench --baseline`)
+# ---------------------------------------------------------------------- #
+#: A benchmark "regresses" when its speedup falls below this fraction of
+#: the baseline's (0.75 = the >25% regression gate of the CLI).
+REGRESSION_THRESHOLD = 0.75
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a committed trajectory report, with the CLI error contract."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        raise AlgorithmError(f"baseline report not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise AlgorithmError(f"invalid baseline report {path}: {exc}") from exc
+    if not isinstance(report, dict) or "results" not in report:
+        raise AlgorithmError(f"baseline report {path} has no 'results' section")
+    return report
+
+
+def compare_to_baseline(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Dict[str, Any]:
+    """Per-benchmark speedup deltas of ``current`` against ``baseline``.
+
+    Records are matched on ``(benchmark, n)``.  The compared quantity is the
+    *speedup* (reference wall / fast wall), not raw wall seconds, so reports
+    recorded on different machines stay comparable; a benchmark whose current
+    speedup drops below ``threshold``× its baseline speedup is flagged as a
+    regression.  Returns ``{"rows", "regressions", "missing",
+    "uncompared"}``: ``missing`` lists current results with no baseline
+    record, ``uncompared`` baseline records the current run never measured
+    (so a partial run cannot silently pass the gate as a full comparison).
+    """
+    recorded = {
+        (record["benchmark"], record["n"]): record for record in baseline["results"]
+    }
+    rows: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    missing: List[str] = []
+    compared = set()
+    for record in current["results"]:
+        key = (record["benchmark"], record["n"])
+        base = recorded.get(key)
+        label = f"{key[0]}@n={key[1]}"
+        if base is None:
+            missing.append(label)
+            continue
+        compared.add(key)
+        base_speedup = base["speedup"]
+        speedup = record["speedup"]
+        delta_pct = 100.0 * (speedup / base_speedup - 1.0) if base_speedup else 0.0
+        regressed = bool(base_speedup) and speedup < threshold * base_speedup
+        rows.append(
+            {
+                "benchmark": key[0],
+                "n": key[1],
+                "baseline_speedup": base_speedup,
+                "current_speedup": speedup,
+                "delta_pct": round(delta_pct, 1),
+                "regressed": regressed,
+            }
+        )
+        if regressed:
+            regressions.append(label)
+    uncompared = sorted(
+        f"{name}@n={n}" for name, n in set(recorded) - compared
+    )
+    return {
+        "rows": rows,
+        "regressions": regressions,
+        "missing": missing,
+        "uncompared": uncompared,
+    }

@@ -6,14 +6,15 @@ algorithm in the registry is runnable by name, results are uniform
 worker processes.
 
 * ``run <algorithm>`` — run any registered algorithm on a generated graph,
-  optionally under ``--workload`` / ``--schedule``;
+  optionally under ``--workload`` / ``--schedule`` / ``--fault``;
 * ``compare <algo> <algo> ...`` — head-to-head on the *same* graph spec;
 * ``sweep`` — size sweep; ``--algorithms ... --jobs N`` runs the registry
   grid in parallel, the legacy ``--kind`` form prints the normalised table;
 * ``suite`` — the full scenario grid: graph sizes × algorithms × workloads
-  × schedules, in parallel, with workload/schedule provenance per record;
+  × schedules × faults, in parallel, with full provenance per record;
 * ``algorithms`` — list the registry;
 * ``workloads`` — list the registered workloads and delivery schedulers;
+* ``faults`` — list the registered fault programs;
 * ``build-mst`` / ``build-st`` — construct a tree and print the cost report
   next to the relevant baseline;
 * ``repair`` — build an MST/ST, apply a churn workload impromptu and print
@@ -21,7 +22,9 @@ worker processes.
 * ``trace record`` / ``trace replay`` — save a workload run as a JSON trace
   and replay it bit-for-bit later;
 * ``bench`` — time the registered micro-benchmarks on the fast path *and*
-  the reference path, assert counter equality and write ``BENCH_PR3.json``;
+  the reference path, assert counter equality and write ``BENCH_PR4.json``;
+  ``--baseline PATH`` additionally compares the speedups against a committed
+  trajectory report and fails on a >25% regression;
 * ``selfcheck`` — run a quick end-to-end correctness pass.
 
 ``--json`` (on ``run``, ``compare``, ``sweep`` and ``suite``) emits one
@@ -34,10 +37,13 @@ Examples
 
     python -m repro run kkt-mst --nodes 96 --density complete --seed 7
     python -m repro run kkt-repair --nodes 48 --workload weight-ramp --schedule random
+    python -m repro run kkt-repair --nodes 48 --fault link-storm
     python -m repro compare kkt-mst ghs --nodes 64 --seed 1
     python -m repro sweep --algorithms kkt-st flooding --sizes 32 64 96 --jobs 4 --json
     python -m repro suite --algorithms kkt-repair recompute-repair \
         --workloads churn deletions-only insert-heavy --schedules none random --jobs 4 --json
+    python -m repro suite --algorithms kkt-repair recompute-repair \
+        --faults none,crash-leaves,link-storm --jobs 4 --json
     python -m repro trace record --nodes 32 --workload churn --out churn.trace.json
     python -m repro trace replay churn.trace.json
     python -m repro selfcheck
@@ -56,12 +62,15 @@ from .api import (
     DENSITY_PROFILES,
     ExperimentEngine,
     ExperimentSpec,
+    FaultSpec,
     GraphSpec,
     RunResult,
     ScheduleSpec,
     WorkloadSpec,
     algorithm_summaries,
+    fault_summaries,
     get_runner,
+    list_faults,
     list_schedulers,
     run as run_algorithm,
     scenario_grid,
@@ -120,6 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the scenario under a registered workload")
     run_cmd.add_argument("--schedule", choices=sorted(list_schedulers()),
                          help="deliver messages under an adversarial scheduler")
+    run_cmd.add_argument("--fault", choices=sorted(list_faults()),
+                         help="run the scenario under a registered fault program")
     run_cmd.add_argument("--trace", metavar="PATH",
                          help="trace file for the trace-replay workload")
     run_cmd.add_argument("--json", action="store_true", help="emit the RunResult as JSON")
@@ -137,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "workloads", help="list the registered workloads and delivery schedulers"
     )
+    subparsers.add_parser("faults", help="list the registered fault programs")
 
     suite = subparsers.add_parser(
         "suite", help="scenario grid: sizes x algorithms x workloads x schedules"
@@ -147,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--schedules", nargs="+", metavar="schedule",
                        choices=["none"] + sorted(list_schedulers()), default=["none"],
                        help="delivery schedules ('none' = default delivery)")
+    suite.add_argument("--faults", nargs="+", metavar="fault", default=["none"],
+                       help="fault programs (comma- or space-separated; "
+                            "'none' = fault-free execution)")
     suite.add_argument("--sizes", type=int, nargs="+", default=[32])
     suite.add_argument("--density", choices=_DENSITY_CHOICES, default="sparse")
     suite.add_argument("--seed", type=int, default=2015)
@@ -188,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument("--workload",
                         choices=sorted(set(list_workloads()) - {"trace-replay"}),
                         default="churn", help="a registered update workload")
+    repair.add_argument("--fault", choices=sorted(list_faults()), default="none",
+                        help="apply a registered fault program after the workload")
     repair.add_argument("--compare-recompute", action="store_true",
                         help="also run the recompute-from-scratch baseline")
 
@@ -223,9 +240,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=2015)
     bench.add_argument("--json", action="store_true",
                        help="print the report JSON to stdout instead of a table")
-    bench.add_argument("--out", metavar="PATH", default="BENCH_PR3.json",
+    bench.add_argument("--out", metavar="PATH", default="BENCH_PR4.json",
                        help="where to write the JSON report "
                             "(default: %(default)s; '-' disables the file)")
+    bench.add_argument("--baseline", metavar="PATH",
+                       help="committed trajectory report to compare speedups "
+                            "against (non-zero exit on a >25%% regression)")
 
     subparsers.add_parser("selfcheck", help="quick end-to-end correctness pass")
     return parser
@@ -262,13 +282,15 @@ def _print_suite_table(title: str, results: Sequence[RunResult]) -> None:
     table = ExperimentTable(
         "suite",
         title,
-        ["algorithm", "workload", "schedule", "n", "m", "msgs", "msgs/m", "rounds", "ok"],
+        ["algorithm", "workload", "schedule", "fault", "n", "m", "msgs", "msgs/m",
+         "rounds", "ok"],
     )
     for result in results:
         table.add_row(
             result.algorithm,
             "-" if result.workload is None else result.workload.name,
             "-" if result.schedule is None else result.schedule.scheduler,
+            "-" if result.faults is None else result.faults.name,
             result.n,
             result.m,
             result.messages,
@@ -314,19 +336,27 @@ def _runner_options(runner, args: argparse.Namespace) -> dict:
 
 def _command_run(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    if args.workload or args.schedule:
+    scenario = args.workload or args.schedule or (args.fault and args.fault != "none")
+    if scenario:
         workload = (
             _workload_from_args(args.workload, args.updates, args.trace)
             if args.workload
             else None
         )
         schedule = ScheduleSpec(scheduler=args.schedule) if args.schedule else None
-        spec = ExperimentSpec(graph=spec, workload=workload, schedule=schedule)
+        fault = (
+            FaultSpec(name=args.fault)
+            if args.fault and args.fault != "none"
+            else None
+        )
+        spec = ExperimentSpec(
+            graph=spec, workload=workload, schedule=schedule, faults=fault
+        )
     runner = get_runner(args.algorithm)
     result = runner.run(spec, **_runner_options(runner, args))
     if args.json:
         _print_results_json([result])
-    elif args.workload or args.schedule:
+    elif scenario:
         _print_suite_table(f"{args.algorithm} on a {args.density} graph", [result])
     else:
         _print_results_table(f"{args.algorithm} on a {args.density} graph", [result])
@@ -369,6 +399,29 @@ def _command_workloads(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_names(raw: Sequence[str]) -> List[str]:
+    """Flatten ``--faults`` values (space- and/or comma-separated) and check
+    them against the registry."""
+    names: List[str] = []
+    for token in raw:
+        names.extend(part for part in token.split(",") if part)
+    known = {"none", *list_faults()}
+    for name in names:
+        if name not in known:
+            raise AlgorithmError(
+                f"unknown fault program {name!r}; choose from {', '.join(sorted(known))}"
+            )
+    return names
+
+
+def _command_faults(_args: argparse.Namespace) -> int:
+    table = ExperimentTable("faults", "Registered fault programs", ["name", "summary"])
+    for name, summary in fault_summaries().items():
+        table.add_row(name, summary)
+    print(table.render())
+    return 0
+
+
 def _command_suite(args: argparse.Namespace) -> int:
     graphs = [
         GraphSpec(nodes=size, density=args.density, seed=args.seed)
@@ -381,9 +434,19 @@ def _command_suite(args: argparse.Namespace) -> int:
         None if name == "none" else ScheduleSpec(scheduler=name)
         for name in args.schedules
     ]
+    faults = [
+        None if name == "none" else FaultSpec(name=name)
+        for name in _fault_names(args.faults)
+    ]
     engine = ExperimentEngine(jobs=args.jobs, base_seed=args.seed)
     results = engine.run_suite(
-        scenario_grid(args.algorithms, graphs, workloads=workloads, schedules=schedules)
+        scenario_grid(
+            args.algorithms,
+            graphs,
+            workloads=workloads,
+            schedules=schedules,
+            faults=faults,
+        )
     )
     if args.json:
         _print_results_json(results)
@@ -492,6 +555,13 @@ def _command_repair(args: argparse.Namespace) -> int:
     workload = WorkloadSpec(name=args.workload, updates=args.updates).resolve_seed(spec.seed)
     stream = workload.build(graph, report.forest)
     maintainer.apply_stream(stream)
+    fault_events = 0
+    if args.fault != "none":
+        program = FaultSpec(name=args.fault).resolve_seed(spec.seed).build(
+            graph, report.forest
+        )
+        maintainer.apply_stream(program.stream)
+        fault_events = len(program.stream)
 
     checker = is_minimum_spanning_forest if args.mode == "mst" else is_spanning_forest
     ok = checker(report.forest)
@@ -504,6 +574,8 @@ def _command_repair(args: argparse.Namespace) -> int:
     )
     table.add_row("nodes / edges", f"{graph.num_nodes} / {graph.num_edges}")
     table.add_row("updates processed", len(costs))
+    if args.fault != "none":
+        table.add_row(f"fault events ({args.fault})", fault_events)
     table.add_row("tree invariant holds", ok)
     table.add_row("messages per update (mean)", round(stats.mean, 1))
     table.add_row("messages per update (median)", round(stats.median, 1))
@@ -574,7 +646,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from .bench import run_benchmarks, write_report
+    from .bench import compare_to_baseline, load_report, run_benchmarks, write_report
 
     progress = None if args.json else lambda line: print(f"bench: {line}", flush=True)
     report = run_benchmarks(
@@ -612,6 +684,40 @@ def _command_bench(args: argparse.Namespace) -> int:
         print("repro: error: fast-path counters diverged from the reference path",
               file=sys.stderr)
         return 1
+    if args.baseline:
+        baseline = load_report(args.baseline)
+        comparison = compare_to_baseline(report, baseline)
+        table = ExperimentTable(
+            "bench-baseline",
+            f"Speedup trajectory vs {args.baseline}",
+            ["benchmark", "n", "baseline x", "current x", "delta", "regressed"],
+        )
+        for row in comparison["rows"]:
+            table.add_row(
+                row["benchmark"],
+                row["n"],
+                row["baseline_speedup"],
+                row["current_speedup"],
+                f"{row['delta_pct']:+.1f}%",
+                row["regressed"],
+            )
+        if comparison["missing"]:
+            table.add_note(
+                f"not in baseline (skipped): {', '.join(comparison['missing'])}"
+            )
+        if comparison["uncompared"]:
+            table.add_note(
+                "in baseline but not in this run (unchecked): "
+                + ", ".join(comparison["uncompared"])
+            )
+        print(table.render())
+        if comparison["regressions"]:
+            print(
+                "repro: error: speedup regressed by more than 25% on: "
+                + ", ".join(comparison["regressions"]),
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -641,6 +747,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _command_compare,
         "algorithms": _command_algorithms,
         "workloads": _command_workloads,
+        "faults": _command_faults,
         "repair": _command_repair,
         "suite": _command_suite,
         "sweep": _command_sweep,

@@ -1,10 +1,13 @@
 """CONGEST-model network substrate: graphs, simulators, broadcast-and-echo.
 
 This subpackage provides everything the paper assumes about the execution
-environment: a weighted communications graph with KT1 knowledge, synchronous
-and asynchronous message-passing engines with exact message/bit/round
-accounting, the maintained spanning-forest ("properly marked") state, the
-broadcast-and-echo primitive, and tree leader election / cycle detection.
+environment: a weighted communications graph with KT1 knowledge, a unified
+event kernel (:mod:`repro.network.kernel`) whose synchronous and
+asynchronous engines are thin facades with exact message/bit/round
+accounting, a fault layer (:mod:`repro.network.faults`) injected at the
+kernel's delivery boundary, the maintained spanning-forest ("properly
+marked") state, the broadcast-and-echo primitive, and tree leader election /
+cycle detection.
 """
 
 from .accounting import CostDelta, CostSnapshot, MessageAccountant, PhaseRecord
@@ -25,8 +28,10 @@ from .errors import (
     ReproError,
     SimulationError,
 )
+from .faults import FaultEvent, FaultInjector
 from .fragments import SpanningForest
 from .graph import Edge, Graph, IncidentArrays, edge_key
+from .kernel import EventKernel, EventSynchrony, RoundSynchrony, SynchronyModel
 from .tree_cache import TreeStructureCache, rooted_tree
 from .leader_election import ElectionResult, detect_cycle, elect_leader
 from .message import Message, message_bits_for_value
@@ -54,6 +59,10 @@ __all__ = [
     "Edge",
     "EdgeDelayScheduler",
     "ElectionResult",
+    "EventKernel",
+    "EventSynchrony",
+    "FaultEvent",
+    "FaultInjector",
     "FifoScheduler",
     "ForestError",
     "Graph",
@@ -67,11 +76,13 @@ __all__ = [
     "ProtocolNode",
     "RandomScheduler",
     "ReproError",
+    "RoundSynchrony",
     "SCHEDULERS",
     "Scheduler",
     "SimulationError",
     "SpanningForest",
     "SynchronousSimulator",
+    "SynchronyModel",
     "TreeStructure",
     "TreeStructureCache",
     "build_tree_structure",

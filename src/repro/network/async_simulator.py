@@ -1,4 +1,4 @@
-"""Asynchronous event-driven CONGEST engine.
+"""Asynchronous event-driven CONGEST engine — a facade over the event kernel.
 
 Messages are eventually delivered; the order is decided by a pluggable
 :class:`~repro.network.scheduler.Scheduler`.  A node's action is triggered by
@@ -9,24 +9,49 @@ asynchronous model for the repair algorithms (Theorem 1.2).
 depth of the execution: the accountant's round counter is advanced to the
 length of the longest causal chain of messages, computed incrementally as
 ``depth(delivered) = depth(trigger) + 1``.
+
+Since the unified-kernel refactor this class is a thin facade: the
+simulation core (registration, validation, the delivery loop, causal-depth
+accounting, the fault boundary) lives in :mod:`repro.network.kernel`, with
+asynchrony expressed as the :class:`~repro.network.kernel.EventSynchrony`
+policy.  This module only maps the historical API (``deliver_one`` / ``run``
+/ ``deliveries`` / ``causal_depth``) onto the kernel.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Optional, TYPE_CHECKING
 
 from .accounting import MessageAccountant
 from .errors import SimulationError
 from .graph import Graph
+from .kernel import EventKernel, EventSynchrony
 from .message import Message
-from .node import ProtocolNode
-from .scheduler import FifoScheduler, Scheduler
+from .scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultInjector
 
 __all__ = ["AsynchronousSimulator"]
 
 
-class AsynchronousSimulator:
-    """Event-driven engine for per-node protocols under arbitrary schedules."""
+class AsynchronousSimulator(EventKernel):
+    """Event-driven engine for per-node protocols under arbitrary schedules.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.  Node protocols may only send along its edges.
+    scheduler:
+        Delivery-order policy (FIFO when omitted).
+    accountant:
+        Message accountant; a fresh one is created when omitted.
+    max_deliveries:
+        Safety valve against non-terminating protocols.
+    faults:
+        Optional :class:`~repro.network.faults.FaultInjector` applied at the
+        kernel's delivery boundary (``None`` = fault-free execution).
+    """
 
     def __init__(
         self,
@@ -34,106 +59,42 @@ class AsynchronousSimulator:
         scheduler: Optional[Scheduler] = None,
         accountant: Optional[MessageAccountant] = None,
         max_deliveries: int = 10_000_000,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
-        self.graph = graph
-        self.scheduler = scheduler if scheduler is not None else FifoScheduler()
-        self.accountant = accountant if accountant is not None else MessageAccountant()
-        self.max_deliveries = max_deliveries
-        self._nodes: Dict[int, ProtocolNode] = {}
-        self._started = False
-        self._deliveries = 0
-        # Causal depth bookkeeping: depth of the message currently being
-        # processed (0 while running on_start handlers).
-        self._current_depth = 0
-        self._max_depth = 0
-        self._depth_of_message: Dict[int, int] = {}
-
-    # ------------------------------------------------------------------ #
-    # setup
-    # ------------------------------------------------------------------ #
-    def register(self, node: ProtocolNode) -> None:
-        if not self.graph.has_node(node.node_id):
-            raise SimulationError(f"node {node.node_id} is not in the graph")
-        if node.node_id in self._nodes:
-            raise SimulationError(f"node {node.node_id} registered twice")
-        node.attach(self)
-        self._nodes[node.node_id] = node
-
-    def register_all(self, nodes: Iterable[ProtocolNode]) -> None:
-        for node in nodes:
-            self.register(node)
+        super().__init__(
+            graph,
+            EventSynchrony(scheduler),
+            accountant=accountant,
+            max_steps=max_deliveries,
+            faults=faults,
+        )
 
     @property
-    def nodes(self) -> Dict[int, ProtocolNode]:
-        return dict(self._nodes)
+    def scheduler(self) -> Scheduler:
+        return self.synchrony.scheduler
+
+    @property
+    def max_deliveries(self) -> int:
+        return self.max_steps
 
     @property
     def deliveries(self) -> int:
-        return self._deliveries
+        return self.synchrony.deliveries
 
     @property
     def causal_depth(self) -> int:
         """Length of the longest causal message chain so far."""
-        return self._max_depth
-
-    # ------------------------------------------------------------------ #
-    # engine interface used by ProtocolNode.send
-    # ------------------------------------------------------------------ #
-    def submit(self, message: Message) -> None:
-        if message.receiver not in self._nodes:
-            raise SimulationError(
-                f"message addressed to unregistered node {message.receiver}"
-            )
-        if not self.graph.has_edge(message.sender, message.receiver):
-            raise SimulationError(
-                f"no edge ({message.sender}, {message.receiver}) in the graph"
-            )
-        message.send_time = self._deliveries
-        self._depth_of_message[message.sequence] = self._current_depth + 1
-        self.scheduler.push(message)
-        self.accountant.record_message(message.size_bits, kind=message.kind)
-
-    # ------------------------------------------------------------------ #
-    # execution
-    # ------------------------------------------------------------------ #
-    def start(self) -> None:
-        if self._started:
-            raise SimulationError("simulation already started")
-        if set(self._nodes) != set(self.graph.nodes()):
-            missing = set(self.graph.nodes()) - set(self._nodes)
-            raise SimulationError(f"nodes without a protocol: {sorted(missing)}")
-        self._started = True
-        self._current_depth = 0
-        for node_id in sorted(self._nodes):
-            self._nodes[node_id].on_start()
+        return self.synchrony.max_depth
 
     def deliver_one(self) -> Message:
         """Deliver a single message chosen by the scheduler."""
         if not self._started:
             raise SimulationError("call start() before deliver_one()")
-        message = self.scheduler.pop()
-        self._deliveries += 1
-        depth = self._depth_of_message.pop(message.sequence, 1)
-        self._current_depth = depth
-        if depth > self._max_depth:
-            extra = depth - self._max_depth
-            self._max_depth = depth
-            self.accountant.record_rounds(extra)
-        self._nodes[message.receiver].on_message(message)
-        self._current_depth = 0
-        return message
+        return self.synchrony.deliver_next()
 
     def run(self) -> int:
         """Deliver messages until none are pending.  Returns #deliveries."""
         if not self._started:
             self.start()
-        while not self.scheduler.empty():
-            if self._deliveries >= self.max_deliveries:
-                raise SimulationError(
-                    f"protocol did not quiesce within {self.max_deliveries} deliveries"
-                )
-            self.deliver_one()
-        return self._deliveries
-
-    def all_halted(self) -> bool:
-        return all(node.halted for node in self._nodes.values())
+        self.run_to_quiescence()
+        return self.deliveries

@@ -1,0 +1,172 @@
+"""Fault primitives injected at the event kernel's delivery boundary.
+
+The paper's impromptu-repair result (Theorem 1.2) is about networks that
+*misbehave*: edges disappear, and in any real deployment nodes crash and
+links lose or duplicate messages.  This module provides the kernel-level
+half of the fault subsystem — deterministic, seed-driven decisions applied
+to every message the :class:`~repro.network.kernel.EventKernel` pops for
+delivery:
+
+* **crash-stop nodes** — a node crashed at time ``t`` executes no handler
+  (``on_start``, ``on_round_begin``, ``on_message``) at any time ``>= t``;
+  messages addressed to it are silently lost.
+* **fail-stop / partitioned links** — a link down during ``[start, end)``
+  drops every message delivered across it in that window (``end=None``
+  means the link never heals).
+* **lossy links** — every delivery is dropped with probability ``drop`` and
+  duplicated with probability ``duplicate``, drawn from a dedicated seeded
+  RNG in delivery order, so the same seed reproduces the same fault history
+  bit-for-bit.
+
+Every suppressed or duplicated delivery is appended to :attr:`FaultInjector.log`
+as a :class:`FaultEvent`, which is how runs prove (and tests pin) that two
+executions saw the identical fault history.  The scenario-level half — named
+fault *programs* and the ``FaultSpec`` axis of an experiment — lives in
+:mod:`repro.api.faults`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .errors import SimulationError
+from .graph import edge_key
+from .message import Message
+
+__all__ = [
+    "DELIVER",
+    "DROP",
+    "DUPLICATE",
+    "FaultEvent",
+    "FaultInjector",
+]
+
+#: Verdicts returned by :meth:`FaultInjector.verdict`.
+DELIVER = "deliver"
+DROP = "drop"
+DUPLICATE = "duplicate"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually happened during an execution.
+
+    ``kind`` names what happened (``"drop"`` / ``"duplicate"``), ``time`` is
+    the kernel clock (round number or delivery count) at which it happened,
+    and ``u`` / ``v`` are the endpoints of the affected message's edge
+    (sender first).
+    """
+
+    time: int
+    kind: str
+    u: Optional[int] = None
+    v: Optional[int] = None
+
+    def to_list(self) -> List:
+        """JSON-friendly ``[time, kind, u, v]`` form (for provenance logs)."""
+        return [self.time, self.kind, self.u, self.v]
+
+
+class FaultInjector:
+    """Deterministic fault decisions for one execution.
+
+    Parameters
+    ----------
+    crashes:
+        Mapping ``node id -> crash time``; the node is crash-stopped for
+        every kernel time ``>= crash time``.
+    link_down:
+        Iterable of ``(u, v, start, end)`` windows; the link is down for
+        times in ``[start, end)``.  ``end=None`` means fail-stop (forever).
+    drop / duplicate:
+        Per-delivery loss and duplication probabilities in ``[0, 1)``.
+    seed:
+        Seed of the dedicated fault RNG.  Decisions are drawn in delivery
+        order, so for a fixed schedule the fault history is reproducible.
+    """
+
+    def __init__(
+        self,
+        crashes: Optional[Mapping[int, int]] = None,
+        link_down: Optional[Iterable[Tuple[int, int, int, Optional[int]]]] = None,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= drop < 1.0:
+            raise SimulationError("drop probability must be in [0, 1)")
+        if not 0.0 <= duplicate < 1.0:
+            raise SimulationError("duplicate probability must be in [0, 1)")
+        self._crashes: Dict[int, int] = dict(crashes or {})
+        self._down: Dict[Tuple[int, int], List[Tuple[int, Optional[int]]]] = {}
+        for u, v, start, end in link_down or ():
+            if start < 0 or (end is not None and end < start):
+                raise SimulationError(
+                    f"invalid link-down window [{start}, {end}) for edge ({u}, {v})"
+                )
+            self._down.setdefault(edge_key(u, v), []).append((start, end))
+        self._drop = float(drop)
+        self._duplicate = float(duplicate)
+        self._rng = random.Random(seed)
+        # Sequence numbers of duplicate copies: copies are never
+        # re-duplicated, so a lossy link emits at most two copies per send.
+        self._copies: Set[int] = set()
+        self.log: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # predicates (also used by the kernel for handler suppression)
+    # ------------------------------------------------------------------ #
+    def is_crashed(self, node: int, time: int) -> bool:
+        crash_time = self._crashes.get(node)
+        return crash_time is not None and time >= crash_time
+
+    def link_is_down(self, u: int, v: int, time: int) -> bool:
+        for start, end in self._down.get(edge_key(u, v), ()):
+            if time >= start and (end is None or time < end):
+                return True
+        return False
+
+    @property
+    def crashed_nodes(self) -> List[int]:
+        return sorted(self._crashes)
+
+    # ------------------------------------------------------------------ #
+    # the per-delivery decision
+    # ------------------------------------------------------------------ #
+    def verdict(self, message: Message, time: int) -> str:
+        """Decide the fate of one delivery; logs anything that is not clean."""
+        if self.is_crashed(message.receiver, time):
+            self._log(time, DROP, message)
+            return DROP
+        if self.link_is_down(message.sender, message.receiver, time):
+            self._log(time, DROP, message)
+            return DROP
+        if self._drop and self._rng.random() < self._drop:
+            self._log(time, DROP, message)
+            return DROP
+        if (
+            self._duplicate
+            and message.sequence not in self._copies
+            and self._rng.random() < self._duplicate
+        ):
+            self._log(time, DUPLICATE, message)
+            return DUPLICATE
+        return DELIVER
+
+    def mark_duplicate(self, copy: Message) -> None:
+        """Remember a duplicate copy so it is never re-duplicated."""
+        self._copies.add(copy.sequence)
+
+    # ------------------------------------------------------------------ #
+    # the observable fault history
+    # ------------------------------------------------------------------ #
+    def event_log(self) -> List[List]:
+        """The faults that actually happened, as JSON-friendly rows."""
+        return [event.to_list() for event in self.log]
+
+    def _log(self, time: int, kind: str, message: Message) -> None:
+        self.log.append(
+            FaultEvent(time=time, kind=kind, u=message.sender, v=message.receiver)
+        )

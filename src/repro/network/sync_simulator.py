@@ -1,30 +1,34 @@
-"""Synchronous round-based CONGEST engine.
+"""Synchronous round-based CONGEST engine — a facade over the event kernel.
 
 All nodes share a global clock.  In each round every node may send one
 message to each of its neighbours; all messages sent in round ``r`` are
 delivered at the beginning of round ``r + 1``.  This is exactly the model of
 Theorem 1.1 (synchronous construction, all nodes start in the same round).
 
-The engine is used directly for the message-level protocols (flooding,
-reference broadcast-and-echo) and in tests that validate the fragment-level
-executor's accounting.
+Since the unified-kernel refactor this class is a thin facade: the
+simulation core (registration, validation, the delivery loop, round
+accounting, the fault boundary) lives in :mod:`repro.network.kernel`, with
+synchrony expressed as the :class:`~repro.network.kernel.RoundSynchrony`
+policy.  This module only maps the historical API (``step`` / ``run`` /
+``current_round`` / ``max_rounds``) onto the kernel.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, List, Optional
+from typing import Optional, TYPE_CHECKING
 
 from .accounting import MessageAccountant
 from .errors import SimulationError
 from .graph import Graph
-from .message import Message
-from .node import ProtocolNode
+from .kernel import EventKernel, RoundSynchrony
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultInjector
 
 __all__ = ["SynchronousSimulator"]
 
 
-class SynchronousSimulator:
+class SynchronousSimulator(EventKernel):
     """Round-based engine for per-node protocols.
 
     Parameters
@@ -35,6 +39,9 @@ class SynchronousSimulator:
         Message accountant; a fresh one is created when omitted.
     max_rounds:
         Safety valve against non-terminating protocols.
+    faults:
+        Optional :class:`~repro.network.faults.FaultInjector` applied at the
+        kernel's delivery boundary (``None`` = fault-free execution).
     """
 
     def __init__(
@@ -42,93 +49,29 @@ class SynchronousSimulator:
         graph: Graph,
         accountant: Optional[MessageAccountant] = None,
         max_rounds: int = 1_000_000,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
-        self.graph = graph
-        self.accountant = accountant if accountant is not None else MessageAccountant()
-        self.max_rounds = max_rounds
-        self._nodes: Dict[int, ProtocolNode] = {}
-        self._outbox: List[Message] = []
-        self._round = 0
-        self._started = False
-        # Registration order is stable once start() runs; the sorted node
-        # list is computed once there instead of once per round in step().
-        self._node_order: List[int] = []
-
-    # ------------------------------------------------------------------ #
-    # setup
-    # ------------------------------------------------------------------ #
-    def register(self, node: ProtocolNode) -> None:
-        """Register a protocol node; its ID must exist in the graph."""
-        if not self.graph.has_node(node.node_id):
-            raise SimulationError(f"node {node.node_id} is not in the graph")
-        if node.node_id in self._nodes:
-            raise SimulationError(f"node {node.node_id} registered twice")
-        node.attach(self)
-        self._nodes[node.node_id] = node
-
-    def register_all(self, nodes: Iterable[ProtocolNode]) -> None:
-        for node in nodes:
-            self.register(node)
+        super().__init__(
+            graph,
+            RoundSynchrony(),
+            accountant=accountant,
+            max_steps=max_rounds,
+            faults=faults,
+        )
 
     @property
-    def nodes(self) -> Dict[int, ProtocolNode]:
-        return dict(self._nodes)
+    def max_rounds(self) -> int:
+        return self.max_steps
 
     @property
     def current_round(self) -> int:
-        return self._round
-
-    # ------------------------------------------------------------------ #
-    # engine interface used by ProtocolNode.send
-    # ------------------------------------------------------------------ #
-    def submit(self, message: Message) -> None:
-        if message.receiver not in self._nodes:
-            raise SimulationError(
-                f"message addressed to unregistered node {message.receiver}"
-            )
-        if not self.graph.has_edge(message.sender, message.receiver):
-            raise SimulationError(
-                f"no edge ({message.sender}, {message.receiver}) in the graph"
-            )
-        message.send_time = self._round
-        self._outbox.append(message)
-        self.accountant.record_message(message.size_bits, kind=message.kind)
-
-    # ------------------------------------------------------------------ #
-    # execution
-    # ------------------------------------------------------------------ #
-    def start(self) -> None:
-        """Call every node's ``on_start`` (round 0 sends happen here)."""
-        if self._started:
-            raise SimulationError("simulation already started")
-        if set(self._nodes) != set(self.graph.nodes()):
-            missing = set(self.graph.nodes()) - set(self._nodes)
-            raise SimulationError(f"nodes without a protocol: {sorted(missing)}")
-        self._started = True
-        self._node_order = sorted(self._nodes)
-        for node_id in self._node_order:
-            self._nodes[node_id].on_start()
+        return self.synchrony.round
 
     def step(self) -> int:
         """Run one round: deliver last round's messages.  Returns #delivered."""
         if not self._started:
             raise SimulationError("call start() before step()")
-        deliveries = self._outbox
-        self._outbox = []
-        self._round += 1
-        self.accountant.record_rounds(1)
-
-        per_node: Dict[int, List[Message]] = defaultdict(list)
-        for message in deliveries:
-            per_node[message.receiver].append(message)
-
-        for node_id in self._node_order:
-            self._nodes[node_id].on_round_begin(self._round)
-        for node_id in sorted(per_node):
-            node = self._nodes[node_id]
-            for message in per_node[node_id]:
-                node.on_message(message)
-        return len(deliveries)
+        return self.synchrony.deliver_next()
 
     def run(self, until_quiescent: bool = True, rounds: Optional[int] = None) -> int:
         """Run the simulation.
@@ -139,22 +82,12 @@ class SynchronousSimulator:
         """
         if not self._started:
             self.start()
-        executed = 0
         if rounds is not None:
+            executed = 0
             for _ in range(rounds):
                 self.step()
                 executed += 1
             return executed
         if not until_quiescent:
             raise SimulationError("specify rounds= when until_quiescent is False")
-        while self._outbox:
-            if executed >= self.max_rounds:
-                raise SimulationError(
-                    f"protocol did not quiesce within {self.max_rounds} rounds"
-                )
-            self.step()
-            executed += 1
-        return executed
-
-    def all_halted(self) -> bool:
-        return all(node.halted for node in self._nodes.values())
+        return self.run_to_quiescence()

@@ -176,6 +176,106 @@ class TestRunScenarioFlags:
         assert result.checks["delivery"] is True
 
 
+class TestFaultsCli:
+    def test_faults_command_lists_registry(self, capsys):
+        code = main(["faults"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("none", "crash-leaves", "lossy-uniform", "partition-heal",
+                     "link-storm"):
+            assert name in out
+
+    def test_run_with_fault_flag(self, capsys):
+        code = main(
+            ["run", "kkt-repair", "--nodes", "16", "--density", "sparse",
+             "--seed", "5", "--updates", "3", "--fault", "link-storm", "--json"]
+        )
+        assert code == 0
+        (result,) = parse_json_lines(capsys.readouterr().out)
+        assert result.faults is not None and result.faults.name == "link-storm"
+        assert result.extra["fault_updates_applied"] > 0
+
+    def test_repair_with_fault_flag(self, capsys):
+        code = main(
+            ["repair", "--nodes", "16", "--density", "sparse", "--seed", "5",
+             "--updates", "3", "--fault", "partition-heal"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault events (partition-heal)" in out
+
+    def test_suite_faults_axis_comma_separated(self, capsys):
+        code = main(
+            ["suite", "--algorithms", "kkt-repair", "--sizes", "16",
+             "--updates", "3", "--faults", "none,link-storm", "--json"]
+        )
+        assert code == 0
+        results = parse_json_lines(capsys.readouterr().out)
+        assert [r.faults.name if r.faults else None for r in results] == [
+            None, "link-storm",
+        ]
+
+    def test_suite_unknown_fault_errors(self, capsys):
+        code = main(
+            ["suite", "--algorithms", "kkt-repair", "--sizes", "16",
+             "--faults", "meteor-strike"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "meteor-strike" in captured.err
+
+    def test_suite_faults_parallel_matches_serial(self, capsys):
+        argv = ["suite", "--algorithms", "kkt-repair", "recompute-repair",
+                "--sizes", "16", "--updates", "3",
+                "--faults", "none", "crash-leaves", "--json"]
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+
+        def strip(text):
+            records = [json.loads(line) for line in text.strip().splitlines()]
+            for record in records:
+                record.pop("wall_time_s")
+            return records
+
+        assert strip(parallel) == strip(serial)
+
+
+class TestBenchBaseline:
+    def test_baseline_self_comparison_passes(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--benchmarks", "bench_testout", "--sizes", "20",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        code = main(["bench", "--benchmarks", "bench_testout", "--sizes", "20",
+                     "--out", "-", "--baseline", str(out)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Speedup trajectory" in output
+
+    def test_missing_baseline_errors(self, capsys, tmp_path):
+        code = main(["bench", "--benchmarks", "bench_testout", "--sizes", "20",
+                     "--out", "-", "--baseline", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "baseline report not found" in captured.err
+
+    def test_regression_gate_fires(self, capsys, tmp_path):
+        from repro.bench import run_benchmarks, write_report
+
+        report = run_benchmarks(names=["bench_testout"], sizes=[20])
+        # Pretend the committed trajectory was 100x faster than reality.
+        for record in report["results"]:
+            record["speedup"] = record["speedup"] * 100 + 100
+        path = write_report(report, str(tmp_path / "inflated.json"))
+        code = main(["bench", "--benchmarks", "bench_testout", "--sizes", "20",
+                     "--out", "-", "--baseline", path])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "regressed by more than 25%" in captured.err
+
+
 class TestSweepCommand:
     def test_parser_accepts_engine_flags(self):
         args = build_parser().parse_args(

@@ -71,8 +71,9 @@ class TestBenchCli:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench", "--quick"])
         assert args.quick is True
-        assert args.out == "BENCH_PR3.json"
+        assert args.out == "BENCH_PR4.json"
         assert args.benchmarks is None
+        assert args.baseline is None
 
     def test_bench_command_json(self, tmp_path, capsys):
         out = tmp_path / "report.json"

@@ -64,3 +64,11 @@ class TestExampleScripts:
         result = _run("message_complexity_study.py", "E99")
         assert result.returncode == 1
         assert "unknown experiment" in result.stdout
+
+    def test_fault_scenarios(self):
+        result = _run("fault_scenarios.py", "24", "4", "2")
+        assert result.returncode == 0, result.stderr
+        assert "Repair under faults" in result.stdout
+        assert "partition-heal" in result.stdout
+        assert "all repair invariants held under every fault program: True" in result.stdout
+        assert '"faults"' in result.stdout

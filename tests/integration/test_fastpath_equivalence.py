@@ -11,8 +11,8 @@ the contract ``repro bench`` relies on when it reports speedups.
 import pytest
 
 from repro import fastpath
-from repro.api import GraphSpec, get_runner, list_algorithms
-from repro.api.scenario import ExperimentSpec, WorkloadSpec
+from repro.api import FaultSpec, GraphSpec, get_runner, list_algorithms
+from repro.api.scenario import ExperimentSpec, ScheduleSpec, WorkloadSpec
 
 ALGORITHMS = list_algorithms()
 DENSITIES = ["sparse", "dense"]
@@ -103,4 +103,41 @@ def test_st_mode_repair_counters_bit_identical():
         reference = _run("kkt-repair", spec, mode="st")
     with fastpath.fast_path():
         fast = _run("kkt-repair", spec, mode="st")
+    assert fast == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("program", ["link-storm", "partition-heal", "crash-leaves"])
+@pytest.mark.parametrize("algorithm", ["kkt-repair", "recompute-repair"])
+def test_fault_scenario_counters_bit_identical(algorithm, program, seed):
+    # Fault programs (the fourth ExperimentSpec axis) run through the same
+    # repair machinery: the fast path must stay observably invisible there
+    # too, fault event log included.
+    spec = ExperimentSpec(
+        graph=GraphSpec(nodes=NODES, density="sparse", seed=seed),
+        workload=WorkloadSpec(name="churn", updates=6),
+        faults=FaultSpec(name=program),
+    )
+    with fastpath.reference_path():
+        reference = _run(algorithm, spec)
+    with fastpath.fast_path():
+        fast = _run(algorithm, spec)
+    assert fast == reference
+    assert fast["extra"]["fault_events"]
+
+
+def test_faulty_flooding_on_kernel_counters_bit_identical():
+    # Flooding is the runner that executes on the event kernel itself, with
+    # the fault injector installed at the delivery boundary — under an
+    # adversarial schedule the delivery order, drops and duplicates must be
+    # identical on both paths.
+    spec = ExperimentSpec(
+        graph=GraphSpec(nodes=NODES, density="dense", seed=1),
+        schedule=ScheduleSpec(scheduler="random"),
+        faults=FaultSpec(name="lossy-uniform", params={"drop": 0.2, "duplicate": 0.1}),
+    )
+    with fastpath.reference_path():
+        reference = _run("flooding", spec)
+    with fastpath.fast_path():
+        fast = _run("flooding", spec)
     assert fast == reference

@@ -1,0 +1,81 @@
+"""Repair correctness under fault programs (Theorem 1.2, adversarial flavour).
+
+The paper's impromptu repair must survive *any* sequence of deletions —
+including the bursts a fault model produces.  These tests drive the
+``partition-heal`` and ``link-storm`` programs into ``kkt-repair`` on dense
+and sparse graphs over seeds 0–2 and check the maintained forest with
+:func:`repro.verify.is_minimum_weight_forest` (total-weight minimality, the
+check that stays meaningful even when a workload has broken the
+distinct-weight assumption), plus spanning-forest validity.
+"""
+
+import pytest
+
+from repro.api import ExperimentSpec, FaultSpec, GraphSpec, WorkloadSpec, run
+from repro.api.runners import _reference_forest
+from repro.core.build_mst import BuildMST
+from repro.core.config import AlgorithmConfig
+from repro.dynamic import TreeMaintainer
+from repro.verify import is_minimum_weight_forest, is_spanning_forest
+
+DENSITIES = ["dense", "sparse"]
+SEEDS = [0, 1, 2]
+NODES = 24
+PROGRAMS = ["partition-heal", "link-storm"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("program", PROGRAMS)
+def test_kkt_repair_is_minimum_weight_after_fault_program(program, density, seed):
+    graph = GraphSpec(nodes=NODES, density=density, seed=seed).build()
+    config = AlgorithmConfig(n=NODES, seed=seed)
+    report = BuildMST(graph, config=config).run()
+    fault_program = FaultSpec(name=program, seed=seed).build(graph, report.forest)
+    assert len(fault_program.stream) > 0
+
+    maintainer = TreeMaintainer(graph, report.forest, mode="mst", seed=seed)
+    maintainer.apply_stream(fault_program.stream)
+
+    assert is_spanning_forest(report.forest)
+    assert is_minimum_weight_forest(report.forest)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("program", PROGRAMS)
+def test_runner_invariant_holds_under_fault_scenarios(program, seed):
+    spec = ExperimentSpec(
+        graph=GraphSpec(nodes=NODES, density="sparse", seed=seed),
+        workload=WorkloadSpec(name="churn", updates=4),
+        faults=FaultSpec(name=program),
+    )
+    result = run("kkt-repair", spec)
+    assert result.ok, result.checks
+    assert result.extra["fault_updates_applied"] > 0
+
+
+@pytest.mark.parametrize("program", PROGRAMS)
+def test_kkt_and_recompute_agree_on_final_weight(program):
+    """Both repair strategies must end on a minimum-weight forest."""
+    spec = ExperimentSpec(
+        graph=GraphSpec(nodes=NODES, density="dense", seed=1),
+        faults=FaultSpec(name=program),
+    )
+    kkt = run("kkt-repair", spec, updates=4)
+    baseline = run("recompute-repair", spec, updates=4)
+    assert kkt.ok and baseline.ok
+    assert kkt.extra["fault_events"] == baseline.extra["fault_events"]
+
+
+def test_fault_deletions_reach_the_repairer_as_updates():
+    """The fault program's link failures are genuine repair events: the
+    maintainer's history grows by exactly the program's stream length."""
+    graph = GraphSpec(nodes=NODES, density="sparse", seed=0).build()
+    forest = _reference_forest(graph)
+    program = FaultSpec(name="link-storm", seed=0, params={"count": 4}).build(
+        graph, forest
+    )
+    maintainer = TreeMaintainer(graph, forest, mode="mst", seed=0)
+    maintainer.apply_stream(program.stream)
+    assert len(maintainer.history) == 4
+    assert all(outcome.update.kind.value == "delete" for outcome in maintainer.history)
