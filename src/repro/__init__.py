@@ -40,7 +40,17 @@ True
 
 from typing import Optional
 
-from . import analysis, baselines, core, dynamic, fastpath, generators, network, verify
+from . import (
+    analysis,
+    baselines,
+    core,
+    dynamic,
+    fastpath,
+    fuzz,
+    generators,
+    network,
+    verify,
+)
 from .fastpath import fast_path, reference_path
 from .core import (
     AlgorithmConfig,
@@ -91,7 +101,7 @@ from .api import (
     scenario_grid,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AlgorithmConfig",
@@ -132,6 +142,7 @@ __all__ = [
     "dynamic",
     "fast_path",
     "fastpath",
+    "fuzz",
     "generators",
     "get_fault",
     "get_runner",

@@ -28,6 +28,7 @@ from .engine import ExperimentEngine, ExperimentJob, derive_seed, scenario_grid
 from .faults import (
     FaultProgram,
     FaultSpec,
+    fault_required_params,
     fault_summaries,
     get_fault,
     list_faults,
@@ -36,6 +37,7 @@ from .faults import (
 from .registry import (
     AlgorithmRunner,
     algorithm_summaries,
+    algorithm_traits,
     get_runner,
     list_algorithms,
     register,
@@ -50,6 +52,7 @@ from .scenario import (
     list_workloads,
     register_workload,
     stream_fingerprint,
+    workload_required_params,
     workload_summaries,
 )
 from .spec import DENSITY_PROFILES, WEIGHT_MODELS, GraphSpec, edge_budget
@@ -90,8 +93,10 @@ __all__ = [
     "WEIGHT_MODELS",
     "WorkloadSpec",
     "algorithm_summaries",
+    "algorithm_traits",
     "derive_seed",
     "edge_budget",
+    "fault_required_params",
     "fault_summaries",
     "get_fault",
     "get_runner",
@@ -108,5 +113,6 @@ __all__ = [
     "runners",
     "scenario_grid",
     "stream_fingerprint",
+    "workload_required_params",
     "workload_summaries",
 ]

@@ -44,7 +44,7 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..dynamic.updates import EdgeUpdate, UpdateStream
 from ..network.errors import AlgorithmError
@@ -59,6 +59,7 @@ __all__ = [
     "get_fault",
     "list_faults",
     "fault_summaries",
+    "fault_required_params",
 ]
 
 
@@ -112,13 +113,18 @@ FaultBuilder = Callable[..., FaultProgram]
 _FAULTS: Dict[str, FaultBuilder] = {}
 
 
-def register_fault(name: str, summary: str = "") -> Callable[[FaultBuilder], FaultBuilder]:
+def register_fault(
+    name: str, summary: str = "", requires: Tuple[str, ...] = ()
+) -> Callable[[FaultBuilder], FaultBuilder]:
     """Function decorator: publish a fault program builder under ``name``.
 
     The decorated function must accept ``(graph, forest, seed)``
     positionally-or-by-keyword plus any program-specific keyword parameters,
     and return a :class:`FaultProgram` whose stream is applicable to
-    ``graph`` in order.
+    ``graph`` in order.  ``requires`` names ``params`` keys the program
+    cannot run without; spec generators consult
+    :func:`fault_required_params` to know whether a program is runnable from
+    a bare name.
 
     >>> @register_fault("quiet", summary="no faults at all")
     ... def quiet(graph, forest, seed=None):
@@ -133,6 +139,7 @@ def register_fault(name: str, summary: str = "") -> Callable[[FaultBuilder], Fau
         doc_lines = (fn.__doc__ or "").strip().splitlines()
         fn.fault_name = name
         fn.summary = summary or (doc_lines[0] if doc_lines else name)
+        fn.required_params = tuple(requires)
         _FAULTS[name] = fn
         return fn
 
@@ -158,6 +165,16 @@ def list_faults() -> List[str]:
 def fault_summaries() -> Dict[str, str]:
     """Name -> one-line summary for every registered fault program."""
     return {name: _FAULTS[name].summary for name in list_faults()}
+
+
+def fault_required_params(name: str) -> Tuple[str, ...]:
+    """The ``params`` keys the fault program cannot run without.
+
+    Mirrors :func:`repro.api.scenario.workload_required_params`: the fuzzing
+    spec generator includes every program runnable from ``(name, seed)``
+    alone, so new fault registrations are fuzzed automatically.
+    """
+    return tuple(getattr(get_fault(name), "required_params", ()))
 
 
 # ---------------------------------------------------------------------- #

@@ -23,6 +23,7 @@ __all__ = [
     "get_runner",
     "list_algorithms",
     "algorithm_summaries",
+    "algorithm_traits",
     "run",
 ]
 
@@ -96,6 +97,39 @@ def list_algorithms() -> List[str]:
 def algorithm_summaries() -> Dict[str, str]:
     """Name -> one-line summary for every registered algorithm."""
     return {name: _REGISTRY[name].summary for name in list_algorithms()}
+
+
+def algorithm_traits(name: str) -> Dict[str, object]:
+    """Introspectable semantics of a registered algorithm.
+
+    Runner classes may declare two optional class attributes that external
+    verifiers (the fuzzing oracles, notably) consult instead of hard-coding
+    algorithm names:
+
+    * ``invariant`` — the strongest tree invariant a clean run guarantees:
+      ``"minimum"`` (the tree is the minimum spanning forest) or
+      ``"spanning"`` (a spanning forest only).  Defaults to ``"spanning"``,
+      the weakest claim, so unknown algorithms are never over-checked.
+    * ``may_fail_under_faults`` — ``True`` when a run under an active fault
+      program may *legitimately* fail its own validity checks (e.g. flooding
+      under lossy delivery: the incomplete tree is the experiment's finding,
+      not a bug).  Defaults to ``False``.
+    * ``monte_carlo`` — ``True`` when the algorithm is Monte Carlo: a single
+      run may fail its checks with probability bounded by ``n^-c`` over the
+      algorithm's own coin flips (the paper's guarantee for the KKT
+      procedures).  Verifiers must only treat a failure as a bug when it
+      *persists* across independent algorithm seeds — such runners accept an
+      ``algorithm_seed`` run option that reseeds the coins without changing
+      the input graph.  Defaults to ``False`` (a failed check is a bug).
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        get_runner(name)  # raises with the list of known algorithms
+    return {
+        "invariant": getattr(cls, "invariant", "spanning"),
+        "may_fail_under_faults": bool(getattr(cls, "may_fail_under_faults", False)),
+        "monte_carlo": bool(getattr(cls, "monte_carlo", False)),
+    }
 
 
 def run(

@@ -68,6 +68,7 @@ __all__ = [
     "get_workload",
     "list_workloads",
     "workload_summaries",
+    "workload_required_params",
     "stream_fingerprint",
 ]
 
@@ -82,14 +83,17 @@ _WORKLOADS: Dict[str, WorkloadGenerator] = {}
 
 
 def register_workload(
-    name: str, summary: str = ""
+    name: str, summary: str = "", requires: Tuple[str, ...] = ()
 ) -> Callable[[WorkloadGenerator], WorkloadGenerator]:
     """Function decorator: publish a workload generator under ``name``.
 
     The decorated function must accept ``(graph, forest, count, seed)``
     positionally-or-by-keyword plus any workload-specific keyword parameters,
     and return an :class:`~repro.dynamic.updates.UpdateStream` that is
-    applicable to ``graph`` in order.
+    applicable to ``graph`` in order.  ``requires`` names ``params`` keys the
+    workload cannot run without (e.g. ``trace-replay`` needs a ``path``);
+    spec generators consult :func:`workload_required_params` to know whether
+    a workload is runnable from a bare name.
 
     >>> @register_workload("noop", summary="an empty stream")
     ... def noop(graph, forest, count, seed=None):
@@ -104,6 +108,7 @@ def register_workload(
         doc_lines = (fn.__doc__ or "").strip().splitlines()
         fn.workload_name = name
         fn.summary = summary or (doc_lines[0] if doc_lines else name)
+        fn.required_params = tuple(requires)
         _WORKLOADS[name] = fn
         return fn
 
@@ -129,6 +134,16 @@ def list_workloads() -> List[str]:
 def workload_summaries() -> Dict[str, str]:
     """Name -> one-line summary for every registered workload."""
     return {name: _WORKLOADS[name].summary for name in list_workloads()}
+
+
+def workload_required_params(name: str) -> Tuple[str, ...]:
+    """The ``params`` keys the workload cannot run without (usually empty).
+
+    The fuzzing spec generator uses this to include every registered
+    workload that is runnable from just ``(name, updates, seed)`` — a new
+    workload registered without ``requires`` is fuzzed automatically.
+    """
+    return tuple(getattr(get_workload(name), "required_params", ()))
 
 
 def stream_fingerprint(stream: UpdateStream) -> str:
@@ -528,7 +543,9 @@ def weight_ramp_workload(
 
 
 @register_workload(
-    "trace-replay", summary="Replay a saved UpdateTrace file (params: path)"
+    "trace-replay",
+    summary="Replay a saved UpdateTrace file (params: path)",
+    requires=("path",),
 )
 def trace_replay_workload(
     graph: Graph,

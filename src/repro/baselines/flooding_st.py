@@ -69,24 +69,46 @@ def flooding_spanning_tree(
     accountant: Optional[MessageAccountant] = None,
     faults: Optional[FaultInjector] = None,
 ) -> Tuple[SpanningForest, MessageAccountant]:
-    """Build a broadcast tree by flooding from ``source``.
+    """Build a broadcast tree (or forest) by flooding.
 
-    Returns the resulting spanning forest (one tree per connected component
-    reachable from the source; unreachable components stay unmarked, matching
-    what flooding can achieve) and the accountant with the Θ(m) cost.  An
-    optional :class:`~repro.network.faults.FaultInjector` is installed at the
+    With an explicit ``source`` a single flood runs and only the source's
+    component is marked (unreachable components stay unmarked — that is all
+    one broadcast can achieve, and what the broadcast-tree use wants).  With
+    ``source=None`` every connected component is flooded from its smallest
+    node, one flood after another on a shared accountant, so the result is a
+    genuine spanning forest on *any* input; on a connected graph this is
+    exactly the classic single flood from the smallest node.  An optional
+    :class:`~repro.network.faults.FaultInjector` is installed at the
     engine's delivery boundary; nodes cut off by crashes or message loss
     simply stay outside the tree.
     """
     if graph.num_nodes == 0:
         raise AlgorithmError("cannot flood an empty graph")
-    nodes = graph.nodes()
-    if source is None:
-        source = nodes[0]
-    if not graph.has_node(source):
-        raise AlgorithmError(f"source {source} is not in the graph")
-
     acct = accountant if accountant is not None else MessageAccountant()
+    if source is not None:
+        if not graph.has_node(source):
+            raise AlgorithmError(f"source {source} is not in the graph")
+        return _flood_component(graph, source, engine, scheduler, acct, faults)
+
+    forest = SpanningForest(graph)
+    for component in sorted(graph.connected_components(), key=min):
+        flooded, _ = _flood_component(
+            graph, min(component), engine, scheduler, acct, faults
+        )
+        for u, v in flooded.marked_edges:
+            forest.mark(u, v)
+    return forest, acct
+
+
+def _flood_component(
+    graph: Graph,
+    source: int,
+    engine: str,
+    scheduler: Optional[Scheduler],
+    acct: MessageAccountant,
+    faults: Optional[FaultInjector],
+) -> Tuple[SpanningForest, MessageAccountant]:
+    """One flood from ``source``: marks exactly the reachable component."""
     if engine == "sync":
         sim = SynchronousSimulator(graph, accountant=acct, faults=faults)
     elif engine == "async":
@@ -98,7 +120,7 @@ def flooding_spanning_tree(
 
     id_bits = graph.id_bits
     protocol_nodes = []
-    for node_id in nodes:
+    for node_id in graph.nodes():
         neighbors = {
             nbr: graph.get_edge(node_id, nbr).weight for nbr in graph.neighbors(node_id)
         }

@@ -71,18 +71,10 @@ class RecomputeMaintainer:
             report = builder.run()
             self.forest = report.forest
         else:
+            # Default flooding covers every component (one flood per
+            # component from its smallest node), so the forest is spanning
+            # even after deletions disconnected the graph.
             forest, _ = flooding_spanning_tree(
                 self.graph, accountant=self.accountant
             )
-            # Flooding only reaches the source's component; flood the other
-            # components from their smallest node so the forest is spanning.
-            covered = forest.component_of(self.graph.nodes()[0])
-            for component in self.graph.connected_components():
-                if component & covered:
-                    continue
-                extra, _ = flooding_spanning_tree(
-                    self.graph, source=min(component), accountant=self.accountant
-                )
-                for u, v in extra.marked_edges:
-                    forest.mark(u, v)
             self.forest = forest

@@ -25,6 +25,10 @@ worker processes.
   the reference path, assert counter equality and write ``BENCH_PR4.json``;
   ``--baseline PATH`` additionally compares the speedups against a committed
   trajectory report and fails on a >25% regression;
+* ``fuzz run`` — a seeded differential-fuzzing campaign over random
+  experiment specs (non-zero exit on any oracle violation; failing specs are
+  delta-debugged to minimal reproducers and written to a JSON corpus);
+  ``fuzz replay`` re-runs a corpus of reproducers, ``fuzz corpus`` lists one;
 * ``selfcheck`` — run a quick end-to-end correctness pass.
 
 ``--json`` (on ``run``, ``compare``, ``sweep`` and ``suite``) emits one
@@ -46,6 +50,8 @@ Examples
         --faults none,crash-leaves,link-storm --jobs 4 --json
     python -m repro trace record --nodes 32 --workload churn --out churn.trace.json
     python -m repro trace replay churn.trace.json
+    python -m repro fuzz run --budget 200 --seed 0 --corpus fuzz-corpus.json
+    python -m repro fuzz replay fuzz-corpus.json
     python -m repro selfcheck
 """
 
@@ -246,6 +252,48 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--baseline", metavar="PATH",
                        help="committed trajectory report to compare speedups "
                             "against (non-zero exit on a >25%% regression)")
+
+    from .fuzz import ORACLE_FACTORIES
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="differential fuzzing: random scenario campaigns with oracles"
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="run a seeded fuzz campaign over random experiment specs"
+    )
+    fuzz_run.add_argument("--budget", type=int, default=100,
+                          help="number of random specs to generate and examine")
+    fuzz_run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_run.add_argument("--algorithms", nargs="+", metavar="algorithm",
+                          help="algorithms to exercise (default: the whole registry)")
+    fuzz_run.add_argument("--oracles", nargs="+", metavar="oracle",
+                          choices=sorted(ORACLE_FACTORIES),
+                          help="oracle subset (default: the full stack)")
+    fuzz_run.add_argument("--max-nodes", type=int, default=None,
+                          help="largest generated graph (default: 24)")
+    fuzz_run.add_argument("--parallel-every", type=int, default=25,
+                          help="cross-process determinism check every Nth case "
+                               "(0 disables it)")
+    fuzz_run.add_argument("--no-shrink", action="store_true",
+                          help="skip delta-debugging failing specs")
+    fuzz_run.add_argument("--out", metavar="PATH", default="-",
+                          help="write the campaign report JSON ('-' = no file)")
+    fuzz_run.add_argument("--corpus", metavar="PATH", default="-",
+                          help="write the minimized-reproducer corpus JSON "
+                               "('-' = no file)")
+    fuzz_run.add_argument("--json", action="store_true",
+                          help="print the report JSON to stdout instead of a table")
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-run the minimized reproducers in a corpus file"
+    )
+    fuzz_replay.add_argument("path", metavar="CORPUS",
+                             help="a corpus written by `fuzz run --corpus`")
+    fuzz_replay.add_argument("--id", dest="entry_id", metavar="ID",
+                             help="replay a single entry by id")
+    fuzz_corpus = fuzz_sub.add_parser("corpus", help="list a corpus file")
+    fuzz_corpus.add_argument("path", metavar="CORPUS",
+                             help="a corpus written by `fuzz run --corpus`")
 
     subparsers.add_parser("selfcheck", help="quick end-to-end correctness pass")
     return parser
@@ -721,6 +769,129 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    if args.fuzz_command == "run":
+        return _command_fuzz_run(args)
+    if args.fuzz_command == "replay":
+        return _command_fuzz_replay(args)
+    return _command_fuzz_corpus(args)
+
+
+def _command_fuzz_run(args: argparse.Namespace) -> int:
+    from .fuzz import FuzzCampaign, SpecSpace, report_to_json
+
+    space = None
+    if args.max_nodes is not None:
+        space = SpecSpace(max_nodes=args.max_nodes)
+    progress = None if args.json else lambda line: print(f"fuzz: {line}", flush=True)
+    campaign = FuzzCampaign(
+        budget=args.budget,
+        seed=args.seed,
+        algorithms=args.algorithms,
+        oracles=args.oracles,
+        space=space,
+        parallel_every=args.parallel_every,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    report = campaign.run()
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report_to_json(report))
+    if args.corpus and args.corpus != "-":
+        campaign.corpus.save(args.corpus)
+    if args.json:
+        print(report_to_json(report), end="")
+    else:
+        table = ExperimentTable(
+            "fuzz", f"Fuzz campaign (seed={args.seed})", ["quantity", "value"]
+        )
+        table.add_row("cases examined", report["cases"])
+        table.add_row("algorithms", " ".join(report["algorithms"]))
+        table.add_row("oracles", " ".join(report["oracles"]))
+        for oracle, stats in sorted(report["oracle_stats"].items()):
+            for key, value in sorted(stats.items()):
+                table.add_row(f"{oracle}: {key}", value)
+        table.add_row("oracle violations", report["violation_count"])
+        if args.out and args.out != "-":
+            table.add_note(f"report written to {args.out}")
+        if args.corpus and args.corpus != "-":
+            table.add_note(f"corpus written to {args.corpus}")
+        print(table.render())
+        if report["violations"]:
+            failures = ExperimentTable(
+                "fuzz-violations",
+                "Minimized reproducers",
+                ["id", "oracle", "algorithm", "nodes", "detail"],
+            )
+            for record in report["violations"]:
+                failures.add_row(
+                    record["id"],
+                    record["oracle"],
+                    record["algorithm"] or "-",
+                    record["minimized"]["graph"]["nodes"],
+                    record["detail"][:60],
+                )
+            print(failures.render())
+    return 0 if report["violation_count"] == 0 else 1
+
+
+def _command_fuzz_replay(args: argparse.Namespace) -> int:
+    from .fuzz import Corpus, replay_entry
+
+    corpus = Corpus.load(args.path)
+    entries = [corpus.get(args.entry_id)] if args.entry_id else list(corpus)
+    if not entries:
+        print(f"corpus {args.path} is empty; nothing to replay")
+        return 0
+    table = ExperimentTable(
+        "fuzz-replay",
+        f"Replayed {len(entries)} reproducer(s) from {args.path}",
+        ["id", "oracle", "algorithm", "nodes", "status"],
+    )
+    fixed = 0
+    for entry in entries:
+        violations = replay_entry(entry)
+        status = "reproduced" if violations else "fixed"
+        fixed += not violations
+        table.add_row(
+            entry.id,
+            entry.oracle,
+            entry.algorithm or "-",
+            entry.minimized["graph"]["nodes"],
+            status,
+        )
+    if fixed:
+        table.add_note(
+            f"{fixed} entr{'y' if fixed == 1 else 'ies'} no longer reproduce(s) — "
+            "fixed? prune them from the corpus"
+        )
+    print(table.render())
+    return 1 if fixed else 0
+
+
+def _command_fuzz_corpus(args: argparse.Namespace) -> int:
+    from .fuzz import Corpus
+
+    corpus = Corpus.load(args.path)
+    table = ExperimentTable(
+        "fuzz-corpus",
+        f"{len(corpus)} reproducer(s) in {args.path}",
+        ["id", "oracle", "algorithm", "nodes", "shrink steps", "detail"],
+    )
+    for entry in corpus:
+        table.add_row(
+            entry.id,
+            entry.oracle,
+            entry.algorithm or "-",
+            entry.minimized["graph"]["nodes"],
+            len(entry.shrink_steps),
+            entry.detail[:48],
+        )
+    print(table.render())
+    return 0
+
+
 def _command_selfcheck(_args: argparse.Namespace) -> int:
     checks = (
         ("build-mst", "kkt-mst", {}),
@@ -744,6 +915,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _command_run,
         "bench": _command_bench,
+        "fuzz": _command_fuzz,
         "compare": _command_compare,
         "algorithms": _command_algorithms,
         "workloads": _command_workloads,

@@ -1,0 +1,185 @@
+"""The reproducer corpus: minimized failing specs, persisted as JSON.
+
+Every oracle violation a fuzz campaign finds is shrunk and stored as a
+:class:`CorpusEntry`: the original spec, the minimized reproducer, which
+oracle (and algorithm) rejected it, and the campaign coordinates (seed and
+case index) that regenerate it from scratch.  The corpus file is canonical
+JSON — entries sorted by id, keys sorted, two-space indent, trailing newline
+— so two identical campaigns write byte-identical corpora and a corpus diff
+in review shows exactly the new reproducers.
+
+File format (version 1)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "id": "9f2c51f0e3a8",            // sha256 of (oracle, algorithm, minimized)
+          "oracle": "differential",
+          "algorithm": "kkt-mst",          // null for spec-level violations
+          "detail": "tree disagrees ...",  // the violation message
+          "campaign_seed": 0,
+          "case_index": 17,
+          "shrink_attempts": 23,
+          "shrink_steps": ["drop-faults", "nodes=3"],
+          "spec": { ... ExperimentSpec ... },       // as generated
+          "minimized": { ... ExperimentSpec ... }   // the reproducer
+        }
+      ]
+    }
+
+``repro fuzz replay`` re-runs each entry's oracle on its minimized spec and
+reports whether the failure still reproduces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..api import ExperimentSpec
+from ..network.errors import AlgorithmError
+
+__all__ = ["CorpusEntry", "Corpus", "CORPUS_VERSION"]
+
+CORPUS_VERSION = 1
+
+
+def entry_id(oracle: str, algorithm: Optional[str], minimized: Mapping[str, Any]) -> str:
+    """A stable 12-hex-digit id for a reproducer (dedup key)."""
+    payload = json.dumps(
+        {"oracle": oracle, "algorithm": algorithm, "minimized": minimized},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One minimized reproducer."""
+
+    oracle: str
+    detail: str
+    spec: Dict[str, Any]
+    minimized: Dict[str, Any]
+    algorithm: Optional[str] = None
+    campaign_seed: Optional[int] = None
+    case_index: Optional[int] = None
+    shrink_attempts: int = 0
+    shrink_steps: Sequence[str] = ()
+
+    @property
+    def id(self) -> str:
+        return entry_id(self.oracle, self.algorithm, self.minimized)
+
+    def minimized_spec(self) -> ExperimentSpec:
+        """The reproducer as a runnable spec."""
+        return ExperimentSpec.from_dict(self.minimized)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "oracle": self.oracle,
+            "algorithm": self.algorithm,
+            "detail": self.detail,
+            "campaign_seed": self.campaign_seed,
+            "case_index": self.case_index,
+            "shrink_attempts": self.shrink_attempts,
+            "shrink_steps": list(self.shrink_steps),
+            "spec": dict(self.spec),
+            "minimized": dict(self.minimized),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CorpusEntry":
+        for key in ("oracle", "detail", "spec", "minimized"):
+            if key not in payload:
+                raise AlgorithmError(f"corpus entry missing field {key!r}")
+        return cls(
+            oracle=payload["oracle"],
+            detail=payload["detail"],
+            spec=dict(payload["spec"]),
+            minimized=dict(payload["minimized"]),
+            algorithm=payload.get("algorithm"),
+            campaign_seed=payload.get("campaign_seed"),
+            case_index=payload.get("case_index"),
+            shrink_attempts=int(payload.get("shrink_attempts", 0)),
+            shrink_steps=tuple(payload.get("shrink_steps", ())),
+        )
+
+
+@dataclass
+class Corpus:
+    """An ordered, deduplicated set of reproducers with JSON persistence."""
+
+    entries: List[CorpusEntry] = field(default_factory=list)
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Add a reproducer; returns False when its id is already present."""
+        if any(existing.id == entry.id for existing in self.entries):
+            return False
+        self.entries.append(entry)
+        return True
+
+    def get(self, entry_id_: str) -> CorpusEntry:
+        for entry in self.entries:
+            if entry.id == entry_id_:
+                return entry
+        known = ", ".join(entry.id for entry in self.entries) or "<empty corpus>"
+        raise AlgorithmError(f"no corpus entry {entry_id_!r}; known entries: {known}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(sorted(self.entries, key=lambda entry: entry.id))
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": CORPUS_VERSION,
+            "entries": [entry.to_dict() for entry in self],
+        }
+
+    def to_json(self) -> str:
+        """Canonical form: sorted entries, sorted keys, trailing newline."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+        return os.fspath(path)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Corpus":
+        if not isinstance(payload, Mapping) or "entries" not in payload:
+            raise AlgorithmError("a corpus file needs an 'entries' section")
+        version = payload.get("version", CORPUS_VERSION)
+        if version != CORPUS_VERSION:
+            raise AlgorithmError(
+                f"unsupported corpus version {version!r} (this build reads "
+                f"version {CORPUS_VERSION})"
+            )
+        corpus = cls()
+        for raw in payload["entries"]:
+            corpus.add(CorpusEntry.from_dict(raw))
+        return corpus
+
+    @classmethod
+    def load(cls, path: str) -> "Corpus":
+        """Load a corpus with the CLI error contract (actionable messages)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise AlgorithmError(f"corpus file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise AlgorithmError(f"invalid corpus file {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise AlgorithmError(f"corpus file {path} must hold a JSON object")
+        return cls.from_dict(payload)

@@ -1,0 +1,142 @@
+"""Delta-debugging shrinker: reduce a failing spec to a minimal reproducer.
+
+A fuzz violation on a 24-node, four-axis scenario is a lousy bug report.
+:func:`shrink_spec` greedily simplifies the spec while a caller-supplied
+``still_fails`` predicate keeps returning ``True`` — the classic ddmin loop
+specialised to the structure of an :class:`~repro.api.scenario.ExperimentSpec`:
+
+* drop whole axes first (faults, then schedule, then workload) — a
+  reproducer without a fault program rules the fault model out entirely;
+* then shrink the graph (fewer nodes: a halving ladder down to
+  ``min_nodes``, then single decrements);
+* then shorten the workload (halving the update count toward 1);
+* finally simplify what remains (FIFO delivery, empty parameter dicts,
+  ``sparse`` density, ``default`` weights).
+
+Every candidate is validated before it is tried (a transformation that
+produces an invalid spec is skipped, not an error), every accepted step
+restarts the pass so earlier — more powerful — transformations get another
+chance, and the whole loop is deterministic: same spec, same predicate,
+same minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, List, Tuple
+
+from ..api import ExperimentSpec, ScheduleSpec
+from ..network.errors import AlgorithmError
+
+__all__ = ["ShrinkOutcome", "shrink_spec"]
+
+
+@dataclass(frozen=True)
+class ShrinkOutcome:
+    """The result of a shrink run: the minimal spec plus an audit trail."""
+
+    spec: ExperimentSpec
+    attempts: int
+    accepted: Tuple[str, ...]
+
+    @property
+    def shrunk(self) -> bool:
+        return bool(self.accepted)
+
+
+def _node_ladder(nodes: int, min_nodes: int) -> List[int]:
+    """Candidate node counts, most aggressive first: min, halves, n-1."""
+    ladder: List[int] = []
+    if nodes > min_nodes:
+        ladder.append(min_nodes)
+        half = nodes // 2
+        while half > min_nodes:
+            ladder.append(half)
+            half //= 2
+        ladder.append(nodes - 1)
+    seen = set()
+    return [n for n in ladder if min_nodes <= n < nodes and not (n in seen or seen.add(n))]
+
+
+def _candidates(
+    spec: ExperimentSpec, min_nodes: int
+) -> Iterator[Tuple[str, ExperimentSpec]]:
+    """Ordered simplification candidates for one pass (lazily built)."""
+    graph = spec.graph
+    if spec.faults is not None:
+        yield "drop-faults", replace(spec, faults=None)
+    if spec.schedule is not None:
+        yield "drop-schedule", replace(spec, schedule=None)
+    if spec.workload is not None:
+        yield "drop-workload", replace(spec, workload=None)
+    for nodes in _node_ladder(graph.nodes, min_nodes):
+        yield f"nodes={nodes}", replace(spec, graph=replace(graph, nodes=nodes))
+    workload = spec.workload
+    if workload is not None and workload.updates is not None and workload.updates > 1:
+        for updates in dict.fromkeys([1, workload.updates // 2]):
+            if 1 <= updates < workload.updates:
+                yield (
+                    f"updates={updates}",
+                    replace(spec, workload=replace(workload, updates=updates)),
+                )
+    if workload is not None and workload.params:
+        yield "workload-params={}", replace(
+            spec, workload=replace(workload, params={})
+        )
+    schedule = spec.schedule
+    if schedule is not None and (
+        schedule.scheduler != "fifo" or schedule.params or schedule.seed is not None
+    ):
+        yield "schedule=fifo", replace(spec, schedule=ScheduleSpec(scheduler="fifo"))
+    if spec.faults is not None and spec.faults.params:
+        yield "fault-params={}", replace(
+            spec, faults=replace(spec.faults, params={})
+        )
+    if graph.density != "sparse":
+        yield "density=sparse", replace(spec, graph=replace(graph, density="sparse"))
+    if graph.weight_model != "default":
+        yield "weights=default", replace(
+            spec, graph=replace(graph, weight_model="default", max_weight=None)
+        )
+
+
+def shrink_spec(
+    spec: ExperimentSpec,
+    still_fails: Callable[[ExperimentSpec], bool],
+    min_nodes: int = 3,
+    max_attempts: int = 250,
+) -> ShrinkOutcome:
+    """Greedily minimise ``spec`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` is typically "re-run the violated oracle on the
+    candidate"; it must treat a crash as a failure too, so a spec that
+    makes the system raise keeps shrinking instead of aborting the loop.
+    ``max_attempts`` bounds the total number of predicate evaluations, which
+    bounds fuzz-campaign time on pathological cases.
+    """
+    attempts = 0
+    accepted: List[str] = []
+    current = spec
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for step, candidate in _candidates(current, min_nodes):
+            if attempts >= max_attempts:
+                break
+            try:
+                # Revalidate through the JSON round-trip: a transformation
+                # that builds an invalid spec is skipped, not fatal.
+                candidate = ExperimentSpec.from_dict(candidate.to_dict())
+            except AlgorithmError:
+                continue
+            attempts += 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                failing = True
+            if failing:
+                current = candidate
+                accepted.append(step)
+                progress = True
+                break
+    return ShrinkOutcome(spec=current, attempts=attempts, accepted=tuple(accepted))

@@ -57,6 +57,72 @@ class TestRunCommand:
         assert "kkt-mst" in captured.err
 
 
+class TestCliErrorPaths:
+    """Unknown names and broken inputs exit non-zero with actionable text."""
+
+    def test_unknown_workload_name(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "kkt-repair", "--nodes", "16", "--workload", "tsunami"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'tsunami'" in err
+        assert "churn" in err  # the valid choices are listed
+
+    def test_unknown_schedule_name(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "kkt-st", "--nodes", "16", "--schedule", "chaotic"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'chaotic'" in err
+        assert "fifo" in err
+
+    def test_unknown_fault_name_on_run(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "kkt-repair", "--nodes", "16", "--fault", "meteor"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'meteor'" in err
+        assert "link-storm" in err
+
+    def test_unknown_workload_on_suite(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["suite", "--algorithms", "kkt-repair", "--workloads", "tsunami"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'tsunami'" in capsys.readouterr().err
+
+    def test_unknown_algorithm_on_suite(self, capsys):
+        code = main(["suite", "--algorithms", "dijkstra", "--sizes", "12"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "dijkstra" in captured.err
+        assert "registered algorithms" in captured.err
+
+    def test_unknown_algorithm_on_compare(self, capsys):
+        code = main(["compare", "kkt-mst", "bellman-ford", "--nodes", "12"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "bellman-ford" in captured.err
+
+    def test_corrupt_bench_baseline(self, capsys, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not valid json", encoding="utf-8")
+        code = main(["bench", "--benchmarks", "bench_testout", "--sizes", "20",
+                     "--out", "-", "--baseline", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invalid baseline report" in captured.err
+        assert str(path) in captured.err
+
+    def test_baseline_without_results_section(self, capsys, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("{}", encoding="utf-8")
+        code = main(["bench", "--benchmarks", "bench_testout", "--sizes", "20",
+                     "--out", "-", "--baseline", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no 'results' section" in captured.err
+
+
 class TestCompareCommand:
     def test_compare_json(self, capsys):
         code = main(

@@ -61,13 +61,20 @@ class TestRegisterDecorator:
             register("")
 
     def test_docstring_less_class_falls_back_to_name(self):
-        @register("zz-test-noop")
-        class NoDoc:
-            def run(self, spec, **options):  # pragma: no cover - never run
-                raise NotImplementedError
+        from repro.api.registry import _REGISTRY
 
-        assert NoDoc.summary == "zz-test-noop"
-        assert "zz-test-noop" in algorithm_summaries()
+        try:
+            @register("zz-test-noop")
+            class NoDoc:
+                def run(self, spec, **options):  # pragma: no cover - never run
+                    raise NotImplementedError
+
+            assert NoDoc.summary == "zz-test-noop"
+            assert "zz-test-noop" in algorithm_summaries()
+        finally:
+            # Leaking the dummy would make every later registry consumer
+            # (the fuzz campaign, notably) trip over it.
+            _REGISTRY.pop("zz-test-noop", None)
 
 
 class TestRunFacade:

@@ -31,14 +31,6 @@ EXPECTED_WORKLOADS = [
 ]
 
 
-def _graph_with_mst(n=16, m=40, seed=0):
-    from repro.generators import random_connected_graph
-
-    graph = random_connected_graph(n, m, seed=seed)
-    report = BuildMST(graph, config=AlgorithmConfig(n=n, seed=seed)).run()
-    return graph, report.forest
-
-
 class TestWorkloadRegistry:
     def test_six_builtin_workloads(self):
         assert list_workloads() == EXPECTED_WORKLOADS
@@ -63,8 +55,8 @@ class TestWorkloadRegistry:
     @pytest.mark.parametrize(
         "name", [w for w in EXPECTED_WORKLOADS if w != "trace-replay"]
     )
-    def test_generated_streams_are_applicable_and_seeded(self, name):
-        graph, forest = _graph_with_mst(seed=11)
+    def test_generated_streams_are_applicable_and_seeded(self, name, graph_with_mst):
+        graph, forest = graph_with_mst(seed=11)
         spec = WorkloadSpec(name=name, updates=6, seed=11)
         stream = spec.build(graph, forest)
         assert len(stream) >= 1
@@ -193,8 +185,8 @@ class TestRepairRunnersShareOneStream:
         assert kkt.extra["stream_fingerprint"] == recompute.extra["stream_fingerprint"]
         assert kkt.workload == recompute.workload
 
-    def test_stream_equality_at_the_workload_level(self):
-        graph, forest = _graph_with_mst(seed=21)
+    def test_stream_equality_at_the_workload_level(self, graph_with_mst):
+        graph, forest = graph_with_mst(seed=21)
         first = get_workload("churn")(graph, forest, count=10, seed=21)
         second = get_workload("churn")(graph, forest, count=10, seed=21)
         assert list(first) == list(second)
@@ -249,21 +241,21 @@ class TestSchedules:
 
 
 class TestTraceReplayWorkload:
-    def _record(self, tmp_path, n=16, seed=5, updates=4):
-        graph, forest = _graph_with_mst(n=n, m=3 * n, seed=seed)
+    def _record(self, tmp_path, graph_with_mst, n=16, seed=5, updates=4):
+        graph, forest = graph_with_mst(n=n, m=3 * n, seed=seed)
         stream = get_workload("churn")(graph, forest, count=updates, seed=seed)
         trace = UpdateTrace.record(graph, forest, stream, mode="mst", seed=seed)
         path = tmp_path / "workload.trace.json"
         trace.save(path)
         return path, stream
 
-    def test_needs_a_path(self):
-        graph, forest = _graph_with_mst(seed=5)
+    def test_needs_a_path(self, graph_with_mst):
+        graph, forest = graph_with_mst(seed=5)
         with pytest.raises(AlgorithmError, match="path"):
             WorkloadSpec(name="trace-replay", updates=4).build(graph, forest)
 
-    def test_missing_file_is_an_algorithm_error(self, tmp_path):
-        graph, forest = _graph_with_mst(seed=5)
+    def test_missing_file_is_an_algorithm_error(self, tmp_path, graph_with_mst):
+        graph, forest = graph_with_mst(seed=5)
         spec = WorkloadSpec(
             name="trace-replay", updates=4, params={"path": str(tmp_path / "nope.json")}
         )
@@ -271,30 +263,30 @@ class TestTraceReplayWorkload:
             spec.build(graph, forest)
 
     @pytest.mark.parametrize("content", ["not json", '{"mode": "mst"}', "[1, 2]"])
-    def test_malformed_file_is_an_algorithm_error(self, tmp_path, content):
+    def test_malformed_file_is_an_algorithm_error(self, tmp_path, content, graph_with_mst):
         path = tmp_path / "bad.trace.json"
         path.write_text(content)
-        graph, forest = _graph_with_mst(seed=5)
+        graph, forest = graph_with_mst(seed=5)
         spec = WorkloadSpec(name="trace-replay", params={"path": str(path)})
         with pytest.raises(AlgorithmError, match="trace"):
             spec.build(graph, forest)
 
-    def test_replays_recorded_stream(self, tmp_path):
-        path, stream = self._record(tmp_path)
+    def test_replays_recorded_stream(self, tmp_path, graph_with_mst):
+        path, stream = self._record(tmp_path, graph_with_mst)
         spec = WorkloadSpec(name="trace-replay", updates=99, params={"path": str(path)})
         graph, forest, trace = spec.trace_state()
         replayed = spec.build(graph, forest)
         assert stream_fingerprint(replayed) == stream_fingerprint(stream)
         assert len(trace) == len(stream)
 
-    def test_count_limits_the_replay(self, tmp_path):
-        path, stream = self._record(tmp_path, updates=6)
+    def test_count_limits_the_replay(self, tmp_path, graph_with_mst):
+        path, stream = self._record(tmp_path, graph_with_mst, updates=6)
         spec = WorkloadSpec(name="trace-replay", updates=2, params={"path": str(path)})
         graph, forest, _ = spec.trace_state()
         assert len(spec.build(graph, forest)) == 2
 
-    def test_repair_runner_uses_the_trace_graph(self, tmp_path):
-        path, _ = self._record(tmp_path, n=16)
+    def test_repair_runner_uses_the_trace_graph(self, tmp_path, graph_with_mst):
+        path, _ = self._record(tmp_path, graph_with_mst, n=16)
         spec = ExperimentSpec(
             # Deliberately name a different graph: the trace must win.
             graph=GraphSpec(nodes=64, density="dense", seed=1),
@@ -304,10 +296,10 @@ class TestTraceReplayWorkload:
         assert result.n == 16
         assert result.ok
 
-    def test_unset_updates_replays_the_full_trace(self, tmp_path):
+    def test_unset_updates_replays_the_full_trace(self, tmp_path, graph_with_mst):
         # A trace longer than the runner's default length must not be
         # silently truncated when no explicit count was requested.
-        path, stream = self._record(tmp_path, updates=14)
+        path, stream = self._record(tmp_path, graph_with_mst, updates=14)
         spec = ExperimentSpec(
             graph=GraphSpec(nodes=16, density="sparse", seed=5),
             workload=WorkloadSpec(name="trace-replay", params={"path": str(path)}),

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.baselines.sequential import kruskal_mst
+from repro.core.build_mst import BuildMST
 from repro.core.config import AlgorithmConfig
 from repro.generators import (
     complete_graph,
@@ -86,3 +88,68 @@ def path_10() -> Graph:
 @pytest.fixture
 def complete_12() -> Graph:
     return complete_graph(12, seed=5)
+
+
+# ---------------------------------------------------------------------- #
+# shared builder factories (deduplicated from the per-package helpers)
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def two_fragment_graph():
+    """Factory: two maintained trees {1,2,3} / {4,5,6} plus cut edges.
+
+    This is the canonical search-procedure fixture (TestOut / FindMin /
+    FindAny / SuperpolyFindMin all exercise the cut between the two trees);
+    ``cut_edges`` customises the crossing edges — pass ``()`` for two
+    isolated fragments.
+    """
+
+    def build(cut_edges=((3, 4, 10), (1, 6, 20), (2, 5, 15))):
+        graph = Graph(id_bits=4)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 2)
+        graph.add_edge(4, 5, 3)
+        graph.add_edge(5, 6, 4)
+        for u, v, weight in cut_edges:
+            graph.add_edge(u, v, weight)
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (4, 5), (5, 6)])
+        return graph, forest
+
+    return build
+
+
+@pytest.fixture
+def graph_with_mst():
+    """Factory: a seeded random connected graph plus its built MST forest."""
+
+    def build(n=16, m=40, seed=0):
+        graph = random_connected_graph(n, m, seed=seed)
+        report = BuildMST(graph, config=AlgorithmConfig(n=n, seed=seed)).run()
+        return graph, report.forest
+
+    return build
+
+
+@pytest.fixture
+def mst_forest():
+    """Factory: the (unique) Kruskal minimum spanning forest of a graph."""
+
+    def build(graph: Graph) -> SpanningForest:
+        forest = SpanningForest(graph)
+        for edge in kruskal_mst(graph):
+            forest.mark(edge.u, edge.v)
+        return forest
+
+    return build
+
+
+@pytest.fixture
+def unit_line_graph():
+    """Factory: the unit-weight path 1-2-...-n the simulator tests relay on."""
+
+    def build(n=5):
+        graph = Graph()
+        for i in range(1, n):
+            graph.add_edge(i, i + 1, 1)
+        return graph
+
+    return build

@@ -10,39 +10,27 @@ from repro.network.fragments import SpanningForest
 from repro.network.graph import Graph
 
 
-def _two_fragment_graph(cut_edges=((3, 4, 10), (1, 6, 20), (2, 5, 15))):
-    graph = Graph(id_bits=4)
-    graph.add_edge(1, 2, 1)
-    graph.add_edge(2, 3, 2)
-    graph.add_edge(4, 5, 3)
-    graph.add_edge(5, 6, 4)
-    for u, v, w in cut_edges:
-        graph.add_edge(u, v, w)
-    forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (4, 5), (5, 6)])
-    return graph, forest
-
-
 def _finder(graph, forest, seed=0, **kwargs):
     config = AlgorithmConfig(n=graph.num_nodes, seed=seed, **kwargs)
     return FindAny(graph, forest, config, MessageAccountant())
 
 
 class TestFindAnySmall:
-    def test_returns_a_cut_edge(self):
-        graph, forest = _two_fragment_graph()
+    def test_returns_a_cut_edge(self, two_fragment_graph):
+        graph, forest = two_fragment_graph()
         cut_keys = {(3, 4), (1, 6), (2, 5)}
         for seed in range(5):
             result = _finder(graph, forest, seed=seed).find_any(1)
             assert result.edge is not None
             assert result.edge.endpoints in cut_keys
 
-    def test_single_cut_edge_is_found(self):
-        graph, forest = _two_fragment_graph(cut_edges=((3, 4, 10),))
+    def test_single_cut_edge_is_found(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(cut_edges=((3, 4, 10),))
         result = _finder(graph, forest, seed=3).find_any(1)
         assert result.edge.endpoints == (3, 4)
 
-    def test_verified_empty_when_no_cut(self):
-        graph, forest = _two_fragment_graph(cut_edges=())
+    def test_verified_empty_when_no_cut(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(cut_edges=())
         result = _finder(graph, forest, seed=1).find_any(1)
         assert result.edge is None
         assert result.verified_empty
@@ -57,8 +45,8 @@ class TestFindAnySmall:
         assert result.verified_empty
         assert result.cost.messages == 0
 
-    def test_capped_success_rate_at_least_one_sixteenth(self):
-        graph, forest = _two_fragment_graph()
+    def test_capped_success_rate_at_least_one_sixteenth(self, two_fragment_graph):
+        graph, forest = two_fragment_graph()
         successes = 0
         trials = 80
         for seed in range(trials):
@@ -70,8 +58,8 @@ class TestFindAnySmall:
         # practice the empirical rate is far higher).
         assert successes >= trials * FINDANY_SUCCESS_PROBABILITY / 2
 
-    def test_capped_never_returns_non_cut_edge(self):
-        graph, forest = _two_fragment_graph()
+    def test_capped_never_returns_non_cut_edge(self, two_fragment_graph):
+        graph, forest = two_fragment_graph()
         cut_keys = {(3, 4), (1, 6), (2, 5)}
         for seed in range(40):
             result = _finder(graph, forest, seed=seed).find_any_capped(1)

@@ -10,35 +10,22 @@ from repro.network.fragments import SpanningForest
 from repro.network.graph import Graph
 
 
-def _two_fragment_graph():
-    graph = Graph(id_bits=4)
-    graph.add_edge(1, 2, 1)
-    graph.add_edge(2, 3, 2)
-    graph.add_edge(4, 5, 3)
-    graph.add_edge(5, 6, 4)
-    graph.add_edge(3, 4, 10)
-    graph.add_edge(1, 6, 20)
-    graph.add_edge(2, 5, 15)
-    forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (4, 5), (5, 6)])
-    return graph, forest
-
-
 def _finder(graph, forest, seed=0, **kwargs):
     config = AlgorithmConfig(n=graph.num_nodes, seed=seed, **kwargs)
     return FindMin(graph, forest, config, MessageAccountant())
 
 
 class TestFindMinSmall:
-    def test_finds_lightest_cut_edge(self):
-        graph, forest = _two_fragment_graph()
+    def test_finds_lightest_cut_edge(self, two_fragment_graph):
+        graph, forest = two_fragment_graph()
         finder = _finder(graph, forest, seed=1)
         result = finder.find_min(1)
         assert result.edge is not None
         assert result.edge.endpoints == (3, 4)
         assert not result.verified_empty
 
-    def test_same_answer_from_both_sides(self):
-        graph, forest = _two_fragment_graph()
+    def test_same_answer_from_both_sides(self, two_fragment_graph):
+        graph, forest = two_fragment_graph()
         for seed in range(3):
             left = _finder(graph, forest, seed=seed).find_min(1)
             right = _finder(graph, forest, seed=seed + 100).find_min(4)
@@ -65,8 +52,8 @@ class TestFindMinSmall:
         assert result.verified_empty
         assert result.cost.messages == 0
 
-    def test_singleton_fragment_with_neighbors(self):
-        graph, forest = _two_fragment_graph()
+    def test_singleton_fragment_with_neighbors(self, two_fragment_graph):
+        graph, forest = two_fragment_graph()
         forest.unmark(1, 2)
         finder = _finder(graph, forest, seed=4)
         result = finder.find_min(1)
@@ -75,12 +62,12 @@ class TestFindMinSmall:
         # A singleton tree never sends a message.
         assert result.cost.messages == 0
 
-    def test_capped_variant_returns_correct_edge_or_empty(self):
+    def test_capped_variant_returns_correct_edge_or_empty(self, two_fragment_graph):
         # FindMin-C errs (returns a non-lightest edge) only when HP-TestOut
         # errs, i.e. with probability <= n^{-c-1} per call; use c=3 so that
         # across 20 seeded runs on this 6-node graph the correct behaviour is
         # overwhelmingly likely (and, being seeded, deterministic).
-        graph, forest = _two_fragment_graph()
+        graph, forest = two_fragment_graph()
         outcomes = set()
         for seed in range(20):
             finder = _finder(graph, forest, seed=seed, c=3.0)

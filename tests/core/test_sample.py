@@ -15,22 +15,9 @@ def _finder(graph, forest, seed=0, **kwargs):
     return SuperpolyFindMin(graph, forest, config, MessageAccountant())
 
 
-def _two_fragment_graph(weights=(10, 20, 15)):
-    graph = Graph(id_bits=4)
-    graph.add_edge(1, 2, 1)
-    graph.add_edge(2, 3, 2)
-    graph.add_edge(4, 5, 3)
-    graph.add_edge(5, 6, 4)
-    graph.add_edge(3, 4, weights[0])
-    graph.add_edge(1, 6, weights[1])
-    graph.add_edge(2, 5, weights[2])
-    forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (4, 5), (5, 6)])
-    return graph, forest
-
-
 class TestSmallWeights:
-    def test_finds_lightest_cut_edge(self):
-        graph, forest = _two_fragment_graph()
+    def test_finds_lightest_cut_edge(self, two_fragment_graph):
+        graph, forest = two_fragment_graph()
         result = _finder(graph, forest, seed=1).run(1)
         assert result.edge is not None
         assert result.edge.endpoints == (3, 4)
@@ -55,16 +42,16 @@ class TestSmallWeights:
 
 
 class TestSuperpolynomialWeights:
-    def test_huge_weights_lightest_edge_found(self):
+    def test_huge_weights_lightest_edge_found(self, two_fragment_graph):
         # Weights around 2^100: far beyond any polynomial in n.
         big = 1 << 100
-        graph, forest = _two_fragment_graph(weights=(big + 3, big + 77, big + 12))
+        graph, forest = two_fragment_graph(((3, 4, big + 3), (1, 6, big + 77), (2, 5, big + 12)))
         result = _finder(graph, forest, seed=4).run(1)
         assert result.edge is not None
         assert result.edge.endpoints == (3, 4)
 
-    def test_mixed_scale_weights(self):
-        graph, forest = _two_fragment_graph(weights=(5, 1 << 90, 1 << 60))
+    def test_mixed_scale_weights(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(((3, 4, 5), (1, 6, 1 << 90), (2, 5, 1 << 60)))
         result = _finder(graph, forest, seed=5).run(1)
         assert result.edge.endpoints == (3, 4)
 
@@ -84,12 +71,12 @@ class TestSuperpolynomialWeights:
         result = _finder(graph, forest, seed=seed, c=2.0).run(root)
         assert result.edge == true_min
 
-    def test_broadcast_echo_count_stays_moderate(self):
+    def test_broadcast_echo_count_stays_moderate(self, two_fragment_graph):
         """The point of Appendix A: B&E count does not scale with weight bits."""
-        small_graph, small_forest = _two_fragment_graph(weights=(10, 20, 15))
+        small_graph, small_forest = two_fragment_graph()
         huge = 1 << 200
-        big_graph, big_forest = _two_fragment_graph(
-            weights=(huge + 10, huge + 20, huge + 15)
+        big_graph, big_forest = two_fragment_graph(
+            ((3, 4, huge + 10), (1, 6, huge + 20), (2, 5, huge + 15))
         )
         small_result = _finder(small_graph, small_forest, seed=6).run(1)
         big_result = _finder(big_graph, big_forest, seed=6).run(1)

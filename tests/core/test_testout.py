@@ -8,19 +8,9 @@ from repro.network.accounting import MessageAccountant
 from repro.network.fragments import SpanningForest
 from repro.network.graph import Graph
 
-
-def _two_fragment_graph(with_cut_edges=True):
-    """Two maintained trees {1,2,3} and {4,5,6}; optional edges across."""
-    graph = Graph(id_bits=4)
-    graph.add_edge(1, 2, 1)
-    graph.add_edge(2, 3, 2)
-    graph.add_edge(4, 5, 3)
-    graph.add_edge(5, 6, 4)
-    if with_cut_edges:
-        graph.add_edge(3, 4, 10)
-        graph.add_edge(1, 6, 20)
-    forest = SpanningForest(graph, marked=[(1, 2), (2, 3), (4, 5), (5, 6)])
-    return graph, forest
+#: The two crossing edges these tests reason about ((3,4) light, (1,6) heavy);
+#: the shared ``two_fragment_graph`` fixture builds the rest.
+CUT_EDGES = ((3, 4, 10), (1, 6, 20))
 
 
 def _tester(graph, forest, seed=0, c=1.0):
@@ -30,8 +20,8 @@ def _tester(graph, forest, seed=0, c=1.0):
 
 
 class TestTreeStatistics:
-    def test_statistics_values(self):
-        graph, forest = _two_fragment_graph()
+    def test_statistics_values(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, _ = _tester(graph, forest)
         stats = tester.tree_statistics(1)
         assert stats.size == 3
@@ -53,8 +43,8 @@ class TestTreeStatistics:
         assert stats.size == 1
         assert not stats.has_incident_edges
 
-    def test_statistics_cost_is_one_broadcast_echo(self):
-        graph, forest = _two_fragment_graph()
+    def test_statistics_cost_is_one_broadcast_echo(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, acct = _tester(graph, forest)
         tester.tree_statistics(1)
         assert acct.broadcast_echoes == 1
@@ -62,21 +52,21 @@ class TestTreeStatistics:
 
 
 class TestTestOut:
-    def test_never_false_positive_on_empty_cut(self):
-        graph, forest = _two_fragment_graph(with_cut_edges=False)
+    def test_never_false_positive_on_empty_cut(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(())
         tester, _ = _tester(graph, forest, seed=1)
         # No edge leaves {1,2,3}: TestOut must return False every time.
         assert all(not tester.test_out(1) for _ in range(40))
 
-    def test_detects_cut_with_constant_probability(self):
-        graph, forest = _two_fragment_graph()
+    def test_detects_cut_with_constant_probability(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, _ = _tester(graph, forest, seed=2)
         hits = sum(tester.test_out(1) for _ in range(200))
         # q >= 1/8; demand at least a 6% hit rate to keep flakiness negligible.
         assert hits >= 12
 
-    def test_respects_weight_range(self):
-        graph, forest = _two_fragment_graph()
+    def test_respects_weight_range(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, _ = _tester(graph, forest, seed=3)
         # Only cut edges have weight 10 ((3,4)) and 20 ((1,6)); restrict to a
         # range that excludes both -> always False.
@@ -86,8 +76,8 @@ class TestTestOut:
             not tester.test_out(1, low=0, high=min(low, high) - 1) for _ in range(30)
         )
 
-    def test_cost_is_one_broadcast_echo_with_one_bit_echo(self):
-        graph, forest = _two_fragment_graph()
+    def test_cost_is_one_broadcast_echo_with_one_bit_echo(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, acct = _tester(graph, forest, seed=4)
         before = acct.snapshot()
         tester.test_out(1)
@@ -99,8 +89,8 @@ class TestTestOut:
         per_kind = acct.per_kind()
         assert per_kind.get("testout:echo") == 2
 
-    def test_word_tests_multiple_ranges_in_one_broadcast_echo(self):
-        graph, forest = _two_fragment_graph()
+    def test_word_tests_multiple_ranges_in_one_broadcast_echo(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, acct = _tester(graph, forest, seed=5)
         ranges = [(0, 10), (11, 10 ** 6), (None, None)]
         before = acct.snapshot()
@@ -109,8 +99,8 @@ class TestTestOut:
         assert delta.broadcast_echoes == 1
         assert 0 <= word < 2 ** len(ranges)
 
-    def test_singleton_tree_with_incident_edges(self):
-        graph, forest = _two_fragment_graph()
+    def test_singleton_tree_with_incident_edges(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         forest.unmark(1, 2)
         forest.unmark(2, 3)
         tester, acct = _tester(graph, forest, seed=6)
@@ -121,18 +111,18 @@ class TestTestOut:
 
 
 class TestHPTestOut:
-    def test_always_correct_on_empty_cut(self):
-        graph, forest = _two_fragment_graph(with_cut_edges=False)
+    def test_always_correct_on_empty_cut(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(())
         tester, _ = _tester(graph, forest, seed=7)
         assert all(not tester.hp_test_out(1) for _ in range(30))
 
-    def test_detects_cut_whp(self):
-        graph, forest = _two_fragment_graph()
+    def test_detects_cut_whp(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, _ = _tester(graph, forest, seed=8, c=2.0)
         assert all(tester.hp_test_out(1) for _ in range(30))
 
-    def test_weight_range_restriction(self):
-        graph, forest = _two_fragment_graph()
+    def test_weight_range_restriction(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, _ = _tester(graph, forest, seed=9)
         cut_low = graph.augmented_weight(3, 4)
         cut_high = graph.augmented_weight(1, 6)
@@ -141,8 +131,8 @@ class TestHPTestOut:
         # Range strictly between the two cut edges: empty.
         assert not tester.hp_test_out(1, low=cut_low + 1, high=cut_high - 1)
 
-    def test_reuses_supplied_prime_in_single_broadcast_echo(self):
-        graph, forest = _two_fragment_graph()
+    def test_reuses_supplied_prime_in_single_broadcast_echo(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, acct = _tester(graph, forest, seed=10)
         stats = tester.tree_statistics(1)
         from repro.core.primes import prime_for_field
@@ -153,24 +143,24 @@ class TestHPTestOut:
         delta = acct.since(before)
         assert delta.broadcast_echoes == 1
 
-    def test_runs_statistics_when_prime_not_supplied(self):
-        graph, forest = _two_fragment_graph()
+    def test_runs_statistics_when_prime_not_supplied(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, acct = _tester(graph, forest, seed=11)
         before = acct.snapshot()
         tester.hp_test_out(1)
         delta = acct.since(before)
         assert delta.broadcast_echoes == 2  # stats + the test itself
 
-    def test_symmetric_from_other_fragment(self):
-        graph, forest = _two_fragment_graph()
+    def test_symmetric_from_other_fragment(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, _ = _tester(graph, forest, seed=12)
         assert tester.hp_test_out(4)
         assert tester.hp_test_out(6)
 
 
 class TestTrueCutEdges:
-    def test_ground_truth_helper(self):
-        graph, forest = _two_fragment_graph()
+    def test_ground_truth_helper(self, two_fragment_graph):
+        graph, forest = two_fragment_graph(CUT_EDGES)
         tester, _ = _tester(graph, forest)
         cut = tester.true_cut_edges(1)
         assert {(e.u, e.v) for e in cut} == {(3, 4), (1, 6)}

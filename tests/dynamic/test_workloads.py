@@ -17,15 +17,9 @@ from repro.network.fragments import SpanningForest
 from repro.network.graph import Graph
 
 
-def _graph_with_mst(n=16, m=40, seed=0):
-    graph = random_connected_graph(n, m, seed=seed)
-    report = BuildMST(graph, config=AlgorithmConfig(n=n, seed=seed)).run()
-    return graph, report.forest
-
-
 class TestTreeEdgeDeletions:
-    def test_targets_tree_edges(self):
-        graph, forest = _graph_with_mst(seed=1)
+    def test_targets_tree_edges(self, graph_with_mst):
+        graph, forest = graph_with_mst(seed=1)
         stream = tree_edge_deletions(graph, forest, count=5, seed=1)
         stream.validate_against(graph)
         deletes = [u for u in stream if u.kind is UpdateKind.DELETE]
@@ -34,8 +28,8 @@ class TestTreeEdgeDeletions:
             assert update.key in forest.marked_edges or True  # first delete definitely marked
         assert stream[0].key in forest.marked_edges
 
-    def test_reinsert_interleaving(self):
-        graph, forest = _graph_with_mst(seed=2)
+    def test_reinsert_interleaving(self, graph_with_mst):
+        graph, forest = graph_with_mst(seed=2)
         stream = tree_edge_deletions(graph, forest, count=4, seed=2, reinsert=True)
         kinds = [u.kind for u in stream]
         assert kinds == [
@@ -43,8 +37,8 @@ class TestTreeEdgeDeletions:
             UpdateKind.INSERT,
         ] * 4
 
-    def test_without_reinsert(self):
-        graph, forest = _graph_with_mst(seed=3)
+    def test_without_reinsert(self, graph_with_mst):
+        graph, forest = graph_with_mst(seed=3)
         stream = tree_edge_deletions(graph, forest, count=3, seed=3, reinsert=False)
         assert all(u.kind is UpdateKind.DELETE for u in stream)
 
@@ -130,10 +124,10 @@ class TestBridgeHeavyDeletions:
         deletes = [u for u in stream if u.kind is UpdateKind.DELETE]
         assert all(u.key in forest.marked_edges for u in deletes)
 
-    def test_applicable_on_random_graph(self):
+    def test_applicable_on_random_graph(self, graph_with_mst):
         from repro.dynamic.workloads import bridge_heavy_deletions
 
-        graph, forest = _graph_with_mst(seed=6)
+        graph, forest = graph_with_mst(seed=6)
         stream = bridge_heavy_deletions(graph, forest, count=5, seed=6)
         stream.validate_against(graph)
         kinds = [u.kind for u in stream]
@@ -149,27 +143,27 @@ class TestBridgeHeavyDeletions:
 
 
 class TestTreeWeightIncreases:
-    def test_ramps_only_tree_edges_monotonically(self):
+    def test_ramps_only_tree_edges_monotonically(self, graph_with_mst):
         from repro.dynamic.workloads import tree_weight_increases
 
-        graph, forest = _graph_with_mst(seed=7)
+        graph, forest = graph_with_mst(seed=7)
         stream = tree_weight_increases(graph, forest, count=10, seed=7, max_delta=3)
         stream.validate_against(graph)
         assert len(stream) == 10
         assert all(u.kind is UpdateKind.INCREASE_WEIGHT for u in stream)
         assert all(u.key in forest.marked_edges for u in stream)
 
-    def test_rejects_bad_delta(self):
+    def test_rejects_bad_delta(self, graph_with_mst):
         from repro.dynamic.workloads import tree_weight_increases
 
-        graph, forest = _graph_with_mst(seed=7)
+        graph, forest = graph_with_mst(seed=7)
         with pytest.raises(AlgorithmError):
             tree_weight_increases(graph, forest, count=3, seed=7, max_delta=0)
 
-    def test_seeded_streams_are_reproducible(self):
+    def test_seeded_streams_are_reproducible(self, graph_with_mst):
         from repro.dynamic.workloads import tree_weight_increases
 
-        graph, forest = _graph_with_mst(seed=8)
+        graph, forest = graph_with_mst(seed=8)
         first = tree_weight_increases(graph, forest, count=6, seed=8)
         second = tree_weight_increases(graph, forest, count=6, seed=8)
         assert list(first) == list(second)

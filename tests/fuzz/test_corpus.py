@@ -1,0 +1,109 @@
+"""Tests for the reproducer corpus: canonical JSON, round-trips, replay."""
+
+import json
+
+import pytest
+
+from repro.api import ExperimentSpec, GraphSpec, WorkloadSpec
+from repro.fuzz import Corpus, CorpusEntry
+from repro.network.errors import AlgorithmError
+
+
+def _entry(nodes=4, oracle="differential", algorithm="kkt-mst", detail="boom"):
+    spec = ExperimentSpec(
+        graph=GraphSpec(nodes=16, density="dense", seed=3),
+        workload=WorkloadSpec(name="churn", updates=4),
+    )
+    minimized = ExperimentSpec(graph=GraphSpec(nodes=nodes, density="sparse", seed=3))
+    return CorpusEntry(
+        oracle=oracle,
+        detail=detail,
+        algorithm=algorithm,
+        spec=spec.to_dict(),
+        minimized=minimized.to_dict(),
+        campaign_seed=0,
+        case_index=17,
+        shrink_attempts=9,
+        shrink_steps=("drop-workload", "nodes=4"),
+    )
+
+
+class TestEntry:
+    def test_id_is_stable_and_content_addressed(self):
+        assert _entry().id == _entry().id
+        assert _entry(nodes=4).id != _entry(nodes=5).id
+        assert _entry(algorithm="ghs").id != _entry(algorithm="kkt-mst").id
+        # The id ignores volatile fields like the detail message.
+        assert _entry(detail="a").id == _entry(detail="b").id
+
+    def test_round_trips(self):
+        entry = _entry()
+        restored = CorpusEntry.from_dict(entry.to_dict())
+        assert restored == entry
+        assert restored.id == entry.id
+
+    def test_minimized_spec_is_runnable(self):
+        spec = _entry().minimized_spec()
+        assert isinstance(spec, ExperimentSpec)
+        assert spec.graph.nodes == 4
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(AlgorithmError, match="missing field"):
+            CorpusEntry.from_dict({"oracle": "differential"})
+
+
+class TestCorpus:
+    def test_dedupes_by_id(self):
+        corpus = Corpus()
+        assert corpus.add(_entry())
+        assert not corpus.add(_entry())
+        assert len(corpus) == 1
+
+    def test_iteration_sorted_by_id(self):
+        corpus = Corpus()
+        entries = [_entry(nodes=n) for n in (6, 3, 5, 4)]
+        for entry in entries:
+            corpus.add(entry)
+        assert [e.id for e in corpus] == sorted(e.id for e in entries)
+
+    def test_get_unknown_id_is_actionable(self):
+        corpus = Corpus()
+        corpus.add(_entry())
+        with pytest.raises(AlgorithmError, match="no corpus entry"):
+            corpus.get("feedfacecafe")
+
+    def test_save_load_byte_identical(self, tmp_path):
+        corpus = Corpus()
+        corpus.add(_entry(nodes=4))
+        corpus.add(_entry(nodes=7))
+        path = tmp_path / "corpus.json"
+        corpus.save(path)
+        first = path.read_bytes()
+        Corpus.load(path).save(path)
+        assert path.read_bytes() == first  # load -> save is the identity
+        assert first.endswith(b"\n")
+        payload = json.loads(first)
+        assert payload["version"] == 1
+        assert len(payload["entries"]) == 2
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(AlgorithmError, match="not found"):
+            Corpus.load(tmp_path / "nope.json")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(AlgorithmError, match="invalid corpus file"):
+            Corpus.load(path)
+
+    def test_load_wrong_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(AlgorithmError, match="unsupported corpus version"):
+            Corpus.load(path)
+
+    def test_load_wrong_shape(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[]")
+        with pytest.raises(AlgorithmError, match="JSON object"):
+            Corpus.load(path)

@@ -1,0 +1,141 @@
+"""Tests for the `repro fuzz run / replay / corpus` CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import Corpus, CorpusEntry
+from repro.api import ExperimentSpec, GraphSpec
+
+RUN_ARGS = ["fuzz", "run", "--budget", "5", "--seed", "0", "--max-nodes", "12",
+            "--parallel-every", "0"]
+
+
+class TestFuzzRun:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = main(RUN_ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fuzz campaign" in out
+        assert "oracle violations" in out
+
+    def test_json_report_to_stdout(self, capsys):
+        code = main(RUN_ARGS + ["--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        report = json.loads(out)
+        assert report["violation_count"] == 0
+        assert report["budget"] == 5
+        assert report["seed"] == 0
+
+    def test_report_and_corpus_files_deterministic(self, capsys, tmp_path):
+        paths = {}
+        for tag in ("a", "b"):
+            out = tmp_path / f"report-{tag}.json"
+            corpus = tmp_path / f"corpus-{tag}.json"
+            assert main(RUN_ARGS + ["--out", str(out), "--corpus", str(corpus)]) == 0
+            capsys.readouterr()
+            paths[tag] = (out.read_bytes(), corpus.read_bytes())
+        assert paths["a"] == paths["b"]  # byte-identical across invocations
+        report = json.loads(paths["a"][0])
+        assert report["violation_count"] == 0
+        corpus = json.loads(paths["a"][1])
+        assert corpus == {"version": 1, "entries": []}
+
+    def test_oracle_subset(self, capsys):
+        code = main(RUN_ARGS + ["--oracles", "provenance", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["oracles"] == ["provenance"]
+
+    def test_unknown_oracle_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(RUN_ARGS + ["--oracles", "haruspex"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_budget_is_actionable(self, capsys):
+        code = main(["fuzz", "run", "--budget", "0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "budget" in captured.err
+
+    def test_unknown_algorithm_is_actionable(self, capsys):
+        code = main(["fuzz", "run", "--budget", "2", "--algorithms", "dijkstra"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "dijkstra" in captured.err
+        assert "registered algorithms" in captured.err
+
+
+def _write_corpus(tmp_path, oracle="provenance"):
+    """A corpus whose entry trivially *passes* its oracle (a fixed bug)."""
+    spec = ExperimentSpec(graph=GraphSpec(nodes=4, density="sparse", seed=1))
+    corpus = Corpus()
+    corpus.add(
+        CorpusEntry(
+            oracle=oracle,
+            detail="historical failure",
+            algorithm="kkt-st",
+            spec=spec.to_dict(),
+            minimized=spec.to_dict(),
+        )
+    )
+    path = tmp_path / "corpus.json"
+    corpus.save(path)
+    return path, corpus
+
+
+class TestFuzzReplay:
+    def test_fixed_entry_reported_and_nonzero_exit(self, capsys, tmp_path):
+        path, _ = _write_corpus(tmp_path)
+        code = main(["fuzz", "replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1  # entry no longer reproduces -> prune signal
+        assert "fixed" in out
+
+    def test_single_entry_by_id(self, capsys, tmp_path):
+        path, corpus = _write_corpus(tmp_path)
+        entry_id = list(corpus)[0].id
+        code = main(["fuzz", "replay", str(path), "--id", entry_id])
+        assert code == 1
+        assert entry_id in capsys.readouterr().out
+
+    def test_unknown_id_is_actionable(self, capsys, tmp_path):
+        path, _ = _write_corpus(tmp_path)
+        code = main(["fuzz", "replay", str(path), "--id", "feedfacecafe"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no corpus entry" in captured.err
+
+    def test_missing_corpus_file(self, capsys, tmp_path):
+        code = main(["fuzz", "replay", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not found" in captured.err
+
+    def test_empty_corpus_is_fine(self, capsys, tmp_path):
+        path = tmp_path / "empty.json"
+        Corpus().save(path)
+        code = main(["fuzz", "replay", str(path)])
+        assert code == 0
+        assert "nothing to replay" in capsys.readouterr().out
+
+
+class TestFuzzCorpus:
+    def test_lists_entries(self, capsys, tmp_path):
+        path, corpus = _write_corpus(tmp_path)
+        code = main(["fuzz", "corpus", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert list(corpus)[0].id in out
+        assert "provenance" in out
+
+    def test_corrupt_corpus_is_actionable(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        code = main(["fuzz", "corpus", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invalid corpus file" in captured.err

@@ -1,0 +1,203 @@
+"""Tests for the oracle stack: clean specs pass, planted bugs are caught."""
+
+import pytest
+
+from repro.api import ExperimentSpec, GraphSpec, ScheduleSpec, WorkloadSpec, run
+from repro.api import registry as registry_module
+from repro.api.registry import register
+from repro.fuzz import (
+    CaseContext,
+    DeterminismOracle,
+    DifferentialOracle,
+    FastpathOracle,
+    ProvenanceOracle,
+    default_algorithms,
+    make_oracles,
+    restore_final_state,
+    run_recorded,
+)
+from repro.network.errors import AlgorithmError
+from repro.verify import is_minimum_spanning_forest
+
+
+def _context(spec, algorithms=None, check_parallel=False):
+    return CaseContext(spec, algorithms or default_algorithms(), check_parallel)
+
+
+CLEAN_SPECS = [
+    ExperimentSpec(graph=GraphSpec(nodes=12, density="sparse", seed=3)),
+    ExperimentSpec(
+        graph=GraphSpec(nodes=14, density="medium", seed=5),
+        workload=WorkloadSpec(name="churn", updates=4),
+        schedule=ScheduleSpec(scheduler="random"),
+    ),
+]
+
+
+class TestCleanSpecsPass:
+    @pytest.mark.parametrize("spec", CLEAN_SPECS, ids=["static", "scenario"])
+    def test_full_stack_accepts(self, spec):
+        context = _context(spec)
+        for oracle in make_oracles(None):
+            assert oracle.examine(spec, context) == []
+
+
+class TestRunRecorded:
+    def test_snapshot_restores_graph_and_tree(self):
+        spec = ExperimentSpec(graph=GraphSpec(nodes=10, density="sparse", seed=2))
+        result = run_recorded("kkt-mst", spec)
+        state = restore_final_state(result)
+        assert state is not None
+        graph, forest = state
+        assert graph.num_nodes == 10
+        assert is_minimum_spanning_forest(forest)
+
+    def test_result_without_snapshot_restores_none(self):
+        result = run("kkt-mst", GraphSpec(nodes=10, density="sparse", seed=2))
+        assert restore_final_state(result) is None
+
+
+@pytest.fixture
+def broken_algorithm():
+    """Register a deliberately wrong MST 'algorithm' for the oracle to catch.
+
+    It claims the ``minimum`` invariant and a passing check, but ships a
+    maximum-weight spanning tree in its snapshot — the differential oracle
+    must reject it even though the runner's own checks lie.
+    """
+    from repro.api.runners import final_state_extra
+    from repro.api.result import RunResult
+    from repro.network.fragments import SpanningForest
+
+    @register("broken-mst", summary="maximum spanning tree posing as minimum")
+    class BrokenMSTRunner:
+        invariant = "minimum"
+
+        def run(self, spec, record_state=False, **options):
+            experiment = ExperimentSpec.coerce(spec)
+            graph = experiment.graph.build()
+            forest = SpanningForest(graph)
+            # Kruskal on negated weights: a maximum spanning tree.
+            for edge in sorted(
+                graph.edges(), key=lambda e: -e.augmented_weight(graph.id_bits)
+            ):
+                if edge.v not in forest.component_of(edge.u):
+                    forest.mark(edge.u, edge.v)
+            extra = final_state_extra(graph, forest) if record_state else {}
+            return RunResult(
+                algorithm=self.name,
+                spec=experiment.graph,
+                n=graph.num_nodes,
+                m=graph.num_edges,
+                messages=0,
+                bits=0,
+                rounds=0,
+                phases=0,
+                wall_time_s=0.0,
+                checks={"spanning": True},  # the lie the oracle must expose
+                extra=extra,
+            )
+
+    yield "broken-mst"
+    registry_module._REGISTRY.pop("broken-mst", None)
+
+
+class TestDifferentialOracle:
+    def test_catches_wrong_tree_behind_passing_checks(self, broken_algorithm):
+        spec = ExperimentSpec(graph=GraphSpec(nodes=10, density="dense", seed=4))
+        oracle = DifferentialOracle()
+        violations = oracle.examine(spec, _context(spec, [broken_algorithm]))
+        assert len(violations) == 1
+        assert violations[0].algorithm == broken_algorithm
+        assert "disagrees with the sequential MST" in violations[0].detail
+
+    def test_monte_carlo_blip_is_not_a_violation(self):
+        """A seed-specific random failure of a Monte Carlo runner is allowed.
+
+        GraphSpec(nodes=4, sparse, adversarial, seed=493882) makes kkt-mst
+        fail its checks for that algorithm seed, but independent reseeds
+        succeed — the oracle must absorb it and count the blip.
+        """
+        spec = ExperimentSpec(
+            graph=GraphSpec(
+                nodes=4, density="sparse", weight_model="adversarial", seed=493882
+            )
+        )
+        result = run("kkt-mst", spec.graph)
+        assert not result.ok  # the blip is real for this seed
+        oracle = DifferentialOracle()
+        assert oracle.examine(spec, _context(spec, ["kkt-mst"])) == []
+        assert oracle.stats["monte_carlo_blips"] == 1
+
+    def test_flooding_skipped_under_active_faults(self):
+        from repro.api import FaultSpec
+
+        spec = ExperimentSpec(
+            graph=GraphSpec(nodes=10, density="sparse", seed=1),
+            faults=FaultSpec(name="lossy-uniform", params={"drop": 0.9}),
+        )
+        oracle = DifferentialOracle()
+        assert oracle.examine(spec, _context(spec, ["flooding"])) == []
+
+
+class TestFastpathOracle:
+    def test_samples_deterministically(self):
+        spec = CLEAN_SPECS[0]
+        oracle = FastpathOracle(sample=2)
+        algorithms = default_algorithms()
+        assert oracle._sampled(spec, algorithms) == oracle._sampled(spec, algorithms)
+
+    def test_clean_case_has_equal_counters(self):
+        spec = CLEAN_SPECS[0]
+        oracle = FastpathOracle(sample=len(default_algorithms()))
+        assert oracle.examine(spec, _context(spec)) == []
+
+    def test_rejects_zero_sample(self):
+        with pytest.raises(AlgorithmError, match="sample"):
+            FastpathOracle(sample=0)
+
+
+class TestDeterminismOracle:
+    def test_serial_reruns_match(self):
+        spec = CLEAN_SPECS[1]
+        oracle = DeterminismOracle()
+        assert oracle.examine(spec, _context(spec, ["kkt-repair", "ghs"])) == []
+
+    def test_parallel_engine_matches_serial(self):
+        spec = ExperimentSpec(graph=GraphSpec(nodes=10, density="sparse", seed=9))
+        oracle = DeterminismOracle()
+        context = _context(spec, ["kkt-st", "flooding"], check_parallel=True)
+        assert oracle.examine(spec, context) == []
+
+
+class TestProvenanceOracle:
+    def test_clean_case_passes(self):
+        from repro.api import FaultSpec
+
+        spec = ExperimentSpec(
+            graph=GraphSpec(nodes=12, density="sparse", seed=6),
+            workload=WorkloadSpec(name="deletions-only", updates=3),
+            faults=FaultSpec(name="link-storm"),
+        )
+        oracle = ProvenanceOracle()
+        assert oracle.examine(spec, _context(spec, ["kkt-repair"])) == []
+
+    def test_flags_doctored_result(self):
+        spec = ExperimentSpec(graph=GraphSpec(nodes=10, density="sparse", seed=2))
+        context = _context(spec, ["kkt-st"])
+        result = context.result("kkt-st")
+        result.n = 999  # corrupt the record in the shared cache
+        oracle = ProvenanceOracle()
+        violations = oracle.examine(spec, context)
+        assert len(violations) == 1
+        assert "n=999" in violations[0].detail
+
+
+class TestMakeOracles:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(AlgorithmError, match="registered oracles"):
+            make_oracles(["haruspex"])
+
+    def test_default_stack_is_complete(self):
+        names = sorted(oracle.name for oracle in make_oracles(None))
+        assert names == ["determinism", "differential", "fastpath", "provenance"]

@@ -1,0 +1,94 @@
+"""Tests for the delta-debugging spec shrinker."""
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    FaultSpec,
+    GraphSpec,
+    ScheduleSpec,
+    WorkloadSpec,
+)
+from repro.fuzz import shrink_spec
+
+FULL_SPEC = ExperimentSpec(
+    graph=GraphSpec(nodes=24, density="dense", weight_model="adversarial", seed=9),
+    workload=WorkloadSpec(name="churn", updates=8, seed=4, params={}),
+    schedule=ScheduleSpec(scheduler="random", seed=2),
+    faults=FaultSpec(name="link-storm", seed=7),
+)
+
+
+class TestAlwaysFailing:
+    """A predicate that never passes shrinks everything away."""
+
+    def test_reduces_to_minimal_spec(self):
+        outcome = shrink_spec(FULL_SPEC, lambda spec: True)
+        minimal = outcome.spec
+        assert minimal.graph.nodes == 3
+        assert minimal.workload is None
+        assert minimal.schedule is None
+        assert minimal.faults is None
+        assert minimal.graph.density == "sparse"
+        assert minimal.graph.weight_model == "default"
+        assert outcome.shrunk
+        assert "drop-faults" in outcome.accepted
+
+    def test_min_nodes_respected(self):
+        outcome = shrink_spec(FULL_SPEC, lambda spec: True, min_nodes=6)
+        assert outcome.spec.graph.nodes == 6
+
+    def test_deterministic(self):
+        first = shrink_spec(FULL_SPEC, lambda spec: True)
+        second = shrink_spec(FULL_SPEC, lambda spec: True)
+        assert first.spec == second.spec
+        assert first.accepted == second.accepted
+
+
+class TestPredicateDriven:
+    def test_preserves_failure_condition(self):
+        """The shrinker never accepts a candidate that stops failing."""
+        still_fails = lambda spec: spec.workload is not None
+        outcome = shrink_spec(FULL_SPEC, still_fails)
+        assert outcome.spec.workload is not None  # condition preserved
+        assert outcome.spec.faults is None  # everything else dropped
+        assert outcome.spec.schedule is None
+        assert outcome.spec.graph.nodes == 3
+
+    def test_updates_halve_toward_one(self):
+        still_fails = lambda spec: (
+            spec.workload is not None and spec.workload.name == "churn"
+        )
+        outcome = shrink_spec(FULL_SPEC, still_fails)
+        assert outcome.spec.workload.updates == 1
+
+    def test_nothing_to_shrink(self):
+        minimal = ExperimentSpec(
+            graph=GraphSpec(nodes=3, density="sparse", seed=1)
+        )
+        outcome = shrink_spec(minimal, lambda spec: True)
+        assert outcome.spec == minimal
+        assert not outcome.shrunk
+
+    def test_never_failing_spec_unchanged(self):
+        outcome = shrink_spec(FULL_SPEC, lambda spec: False)
+        assert outcome.spec == FULL_SPEC
+        assert not outcome.shrunk
+
+    def test_predicate_exception_counts_as_failure(self):
+        def explodes(spec):
+            raise RuntimeError("the system under test crashed")
+
+        outcome = shrink_spec(FULL_SPEC, explodes)
+        assert outcome.spec.graph.nodes == 3  # kept shrinking through crashes
+
+    def test_attempt_budget_bounds_work(self):
+        calls = []
+
+        def predicate(spec):
+            calls.append(spec)
+            return True
+
+        outcome = shrink_spec(FULL_SPEC, predicate, max_attempts=5)
+        assert outcome.attempts == 5
+        assert len(calls) == 5

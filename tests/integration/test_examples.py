@@ -72,3 +72,10 @@ class TestExampleScripts:
         assert "partition-heal" in result.stdout
         assert "all repair invariants held under every fault program: True" in result.stdout
         assert '"faults"' in result.stdout
+
+    def test_fuzz_campaign(self):
+        result = _run("fuzz_campaign.py", "4", "1")
+        assert result.returncode == 0, result.stderr
+        assert "violations: 0" in result.stdout
+        assert "caught by 'planted'" in result.stdout
+        assert "clean campaign passed and planted bug was caught: True" in result.stdout

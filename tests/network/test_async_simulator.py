@@ -29,13 +29,6 @@ class Forwarder(ProtocolNode):
             self.send(self.node_id + 1, "TOKEN", size_bits=2)
 
 
-def _line(n=5):
-    graph = Graph()
-    for i in range(1, n):
-        graph.add_edge(i, i + 1, 1)
-    return graph
-
-
 def _forwarders(graph):
     n = graph.num_nodes
     nodes = []
@@ -46,8 +39,8 @@ def _forwarders(graph):
 
 
 class TestAsyncEngine:
-    def test_token_reaches_end(self):
-        graph = _line(5)
+    def test_token_reaches_end(self, unit_line_graph):
+        graph = unit_line_graph(5)
         sim = AsynchronousSimulator(graph)
         sim.register_all(_forwarders(graph))
         deliveries = sim.run()
@@ -55,36 +48,36 @@ class TestAsyncEngine:
         assert sim.nodes[5].got_token
         assert sim.accountant.messages == 4
 
-    def test_causal_depth_equals_chain_length(self):
-        graph = _line(6)
+    def test_causal_depth_equals_chain_length(self, unit_line_graph):
+        graph = unit_line_graph(6)
         sim = AsynchronousSimulator(graph)
         sim.register_all(_forwarders(graph))
         sim.run()
         assert sim.causal_depth == 5
         assert sim.accountant.rounds == 5
 
-    def test_random_scheduler_same_outcome(self):
-        graph = _line(5)
+    def test_random_scheduler_same_outcome(self, unit_line_graph):
+        graph = unit_line_graph(5)
         sim = AsynchronousSimulator(graph, scheduler=RandomScheduler(seed=3))
         sim.register_all(_forwarders(graph))
         sim.run()
         assert sim.nodes[5].got_token
 
-    def test_lifo_scheduler_same_outcome(self):
-        graph = _line(5)
+    def test_lifo_scheduler_same_outcome(self, unit_line_graph):
+        graph = unit_line_graph(5)
         sim = AsynchronousSimulator(graph, scheduler=LifoScheduler())
         sim.register_all(_forwarders(graph))
         sim.run()
         assert sim.nodes[5].got_token
 
-    def test_deliver_one_requires_start(self):
-        graph = _line(3)
+    def test_deliver_one_requires_start(self, unit_line_graph):
+        graph = unit_line_graph(3)
         sim = AsynchronousSimulator(graph)
         sim.register_all(_forwarders(graph))
         with pytest.raises(SimulationError):
             sim.deliver_one()
 
-    def test_max_deliveries_guard(self):
+    def test_max_deliveries_guard(self, unit_line_graph):
         class PingPong(ProtocolNode):
             def on_start(self):
                 self.broadcast_to_neighbors("SPAM")
@@ -92,15 +85,15 @@ class TestAsyncEngine:
             def on_message(self, message):
                 self.send(message.sender, "SPAM")
 
-        graph = _line(2)
+        graph = unit_line_graph(2)
         sim = AsynchronousSimulator(graph, max_deliveries=20)
         for node_id in graph.nodes():
             sim.register(PingPong(node_id, {v: 1 for v in graph.neighbors(node_id)}))
         with pytest.raises(SimulationError):
             sim.run()
 
-    def test_start_requires_full_coverage(self):
-        graph = _line(3)
+    def test_start_requires_full_coverage(self, unit_line_graph):
+        graph = unit_line_graph(3)
         sim = AsynchronousSimulator(graph)
         sim.register(Forwarder(1, {2: 1}, start=True))
         with pytest.raises(SimulationError):

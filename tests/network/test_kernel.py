@@ -66,13 +66,6 @@ def _star(n=4):
     return graph
 
 
-def _line(n=5):
-    graph = Graph()
-    for i in range(1, n):
-        graph.add_edge(i, i + 1, 1)
-    return graph
-
-
 def _pingers(graph, initiator=1):
     nodes = []
     for node_id in graph.nodes():
@@ -95,8 +88,8 @@ def _relays(graph):
 
 
 class TestKernelStructure:
-    def test_facades_are_kernel_instances(self):
-        graph = _line(3)
+    def test_facades_are_kernel_instances(self, unit_line_graph):
+        graph = unit_line_graph(3)
         sync = SynchronousSimulator(graph)
         asyn = AsynchronousSimulator(graph)
         assert isinstance(sync, EventKernel)
@@ -117,9 +110,9 @@ class TestKernelStructure:
         )
         assert SynchronousSimulator.submit is EventKernel.submit
 
-    def test_started_property(self):
-        sim = SynchronousSimulator(_line(2))
-        sim.register_all(_pingers(_line(2)))
+    def test_started_property(self, unit_line_graph):
+        sim = SynchronousSimulator(unit_line_graph(2))
+        sim.register_all(_pingers(unit_line_graph(2)))
         assert not sim.started
         sim.start()
         assert sim.started
@@ -181,8 +174,8 @@ class TestCrashStopOnBothEngines:
         assert sim.nodes[2].received == [("PING", 1)]
         assert [e.to_list() for e in injector.log] == [[1, "drop", 1, 3]]
 
-    def test_async_crashed_node_never_acts(self):
-        graph = _line(4)
+    def test_async_crashed_node_never_acts(self, unit_line_graph):
+        graph = unit_line_graph(4)
         injector = FaultInjector(crashes={3: 0})
         sim = AsynchronousSimulator(graph, faults=injector)
         sim.register_all(_relays(graph))
@@ -192,16 +185,16 @@ class TestCrashStopOnBothEngines:
         assert sim.nodes[3].received == []
         assert sim.nodes[4].received == []
 
-    def test_crashed_initiator_skips_on_start(self):
-        graph = _line(3)
+    def test_crashed_initiator_skips_on_start(self, unit_line_graph):
+        graph = unit_line_graph(3)
         sim = AsynchronousSimulator(graph, faults=FaultInjector(crashes={1: 0}))
         sim.register_all(_relays(graph))
         assert sim.run() == 0  # nothing was ever sent
 
 
 class TestLinkFaults:
-    def test_fail_stop_link_drops_traffic(self):
-        graph = _line(4)
+    def test_fail_stop_link_drops_traffic(self, unit_line_graph):
+        graph = unit_line_graph(4)
         injector = FaultInjector(link_down=[(2, 3, 0, None)])
         sim = AsynchronousSimulator(graph, faults=injector)
         sim.register_all(_relays(graph))
@@ -210,11 +203,11 @@ class TestLinkFaults:
         assert sim.nodes[3].received == []
         assert injector.event_log() == [[2, "drop", 2, 3]]
 
-    def test_partition_heals_on_schedule(self):
+    def test_partition_heals_on_schedule(self, unit_line_graph):
         # Link (2,3) is down only for delivery times < 2; the sender keeps
         # no retransmission logic, so a relay chain dies — but a message
         # delivered at time >= 2 crosses fine.
-        graph = _line(3)
+        graph = unit_line_graph(3)
         injector = FaultInjector(link_down=[(1, 2, 0, 1)])
         sim = AsynchronousSimulator(graph, faults=injector)
         relays = _relays(graph)
@@ -226,8 +219,8 @@ class TestLinkFaults:
         # First copy (delivered at time 1 >= end of window [0,1)) passes.
         assert sim.nodes[2].received == [1, 1]
 
-    def test_sync_round_clock_drives_link_windows(self):
-        graph = _line(3)
+    def test_sync_round_clock_drives_link_windows(self, unit_line_graph):
+        graph = unit_line_graph(3)
         # Down during round 1 only (the round in which round-0 sends land).
         injector = FaultInjector(link_down=[(1, 2, 1, 2)])
         sim = SynchronousSimulator(graph, faults=injector)
@@ -248,8 +241,8 @@ class TestLossyLinks:
         # Accounting still charges the sends: the wire cost happened.
         assert sim.accountant.messages == 4
 
-    def test_duplicate_delivers_twice_and_charges_the_copy(self):
-        graph = _line(2)
+    def test_duplicate_delivers_twice_and_charges_the_copy(self, unit_line_graph):
+        graph = unit_line_graph(2)
         injector = FaultInjector(duplicate=0.999999, seed=1)
         sim = SynchronousSimulator(graph, faults=injector)
         sim.register_all(_pingers(graph))
@@ -259,9 +252,9 @@ class TestLossyLinks:
         assert sim.accountant.messages == 2
         assert [e.kind for e in injector.log] == ["duplicate"]
 
-    def test_lossy_run_is_deterministic_per_seed(self):
+    def test_lossy_run_is_deterministic_per_seed(self, unit_line_graph):
         def counters(seed):
-            graph = _line(6)
+            graph = unit_line_graph(6)
             injector = FaultInjector(drop=0.3, duplicate=0.2, seed=seed)
             sim = AsynchronousSimulator(
                 graph, scheduler=RandomScheduler(seed=9), faults=injector
@@ -272,8 +265,8 @@ class TestLossyLinks:
 
         assert counters(5) == counters(5)
 
-    def test_no_injector_means_no_fault_branch(self):
-        graph = _line(3)
+    def test_no_injector_means_no_fault_branch(self, unit_line_graph):
+        graph = unit_line_graph(3)
         sim = SynchronousSimulator(graph)
         assert sim.faults is None
         sim.register_all(_pingers(graph))

@@ -27,13 +27,6 @@ class EchoOnce(ProtocolNode):
             self.send(message.sender, "PONG", size_bits=4)
 
 
-def _line_graph(n=4):
-    graph = Graph()
-    for i in range(1, n):
-        graph.add_edge(i, i + 1, 1)
-    return graph
-
-
 def _make_nodes(graph, initiator=1):
     nodes = []
     for node_id in graph.nodes():
@@ -43,22 +36,22 @@ def _make_nodes(graph, initiator=1):
 
 
 class TestRegistration:
-    def test_requires_node_in_graph(self):
-        graph = _line_graph()
+    def test_requires_node_in_graph(self, unit_line_graph):
+        graph = unit_line_graph(4)
         sim = SynchronousSimulator(graph)
         with pytest.raises(SimulationError):
             sim.register(EchoOnce(99, {}))
 
-    def test_rejects_duplicate_registration(self):
-        graph = _line_graph()
+    def test_rejects_duplicate_registration(self, unit_line_graph):
+        graph = unit_line_graph(4)
         sim = SynchronousSimulator(graph)
         node = EchoOnce(1, {2: 1})
         sim.register(node)
         with pytest.raises(SimulationError):
             sim.register(EchoOnce(1, {2: 1}))
 
-    def test_start_requires_full_coverage(self):
-        graph = _line_graph()
+    def test_start_requires_full_coverage(self, unit_line_graph):
+        graph = unit_line_graph(4)
         sim = SynchronousSimulator(graph)
         sim.register(EchoOnce(1, {2: 1}))
         with pytest.raises(SimulationError):
@@ -66,8 +59,8 @@ class TestRegistration:
 
 
 class TestExecution:
-    def test_ping_pong_round_structure(self):
-        graph = _line_graph(3)   # 1-2-3, initiator 1 pings only node 2
+    def test_ping_pong_round_structure(self, unit_line_graph):
+        graph = unit_line_graph(3)   # 1-2-3, initiator 1 pings only node 2
         sim = SynchronousSimulator(graph)
         sim.register_all(_make_nodes(graph))
         rounds = sim.run()
@@ -78,16 +71,16 @@ class TestExecution:
         assert sim.nodes[2].received == [("PING", 1)]
         assert sim.nodes[1].received == [("PONG", 2)]
 
-    def test_messages_only_along_edges(self):
-        graph = _line_graph(3)
+    def test_messages_only_along_edges(self, unit_line_graph):
+        graph = unit_line_graph(3)
         sim = SynchronousSimulator(graph)
         nodes = _make_nodes(graph)
         sim.register_all(nodes)
         with pytest.raises(ProtocolError):
             nodes[0].send(3, "PING")  # 1 and 3 are not adjacent
 
-    def test_run_fixed_rounds(self):
-        graph = _line_graph(4)
+    def test_run_fixed_rounds(self, unit_line_graph):
+        graph = unit_line_graph(4)
         sim = SynchronousSimulator(graph)
         sim.register_all(_make_nodes(graph))
         sim.start()
@@ -95,15 +88,15 @@ class TestExecution:
         assert executed == 1
         assert sim.current_round == 1
 
-    def test_double_start_rejected(self):
-        graph = _line_graph(3)
+    def test_double_start_rejected(self, unit_line_graph):
+        graph = unit_line_graph(3)
         sim = SynchronousSimulator(graph)
         sim.register_all(_make_nodes(graph))
         sim.start()
         with pytest.raises(SimulationError):
             sim.start()
 
-    def test_max_rounds_guard(self):
+    def test_max_rounds_guard(self, unit_line_graph):
         class Chatter(ProtocolNode):
             def on_start(self):
                 self.broadcast_to_neighbors("SPAM")
@@ -111,7 +104,7 @@ class TestExecution:
             def on_message(self, message):
                 self.send(message.sender, "SPAM")
 
-        graph = _line_graph(2)
+        graph = unit_line_graph(2)
         sim = SynchronousSimulator(graph, max_rounds=10)
         for node_id in graph.nodes():
             neighbors = {v: 1 for v in graph.neighbors(node_id)}
@@ -119,8 +112,8 @@ class TestExecution:
         with pytest.raises(SimulationError):
             sim.run()
 
-    def test_rounds_recorded_in_accountant(self):
-        graph = _line_graph(3)
+    def test_rounds_recorded_in_accountant(self, unit_line_graph):
+        graph = unit_line_graph(3)
         sim = SynchronousSimulator(graph)
         sim.register_all(_make_nodes(graph))
         sim.run()

@@ -90,3 +90,55 @@ def test_pr1_result_payloads_still_load():
     restored = RunResult.from_dict(payload)
     assert restored.counters() == result.counters()
     assert restored.workload is None and restored.schedule is None
+
+
+class TestArbitrarySpecsRoundTrip:
+    """Property: *any* valid ExperimentSpec survives serialisation exactly.
+
+    The fuzzing spec generator samples the whole graph x workload x schedule
+    x fault space, so these are the adversarial inputs for the round-trip,
+    hash and equality contracts — not just the hand-picked grid above.
+    """
+
+    def _specs(self, count=60, seed=20150721):
+        from repro.fuzz import SpecGenerator
+
+        return list(SpecGenerator(seed=seed).stream(count))
+
+    def test_dict_and_json_round_trips_are_the_identity(self):
+        for spec in self._specs():
+            assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+            assert ExperimentSpec.from_json(spec.to_json()) == spec
+            # to_dict must itself be JSON-stable (no exotic value types).
+            import json
+
+            assert json.loads(spec.to_json()) == spec.to_dict()
+
+    def test_specs_stay_hashable_and_equal(self):
+        specs = self._specs()
+        for spec in specs:
+            restored = ExperimentSpec.from_dict(spec.to_dict())
+            assert hash(restored) == hash(spec)
+        # Usable as set/dict keys: a round-tripped copy never duplicates.
+        pool = set(specs)
+        pool.update(ExperimentSpec.from_json(spec.to_json()) for spec in specs)
+        assert len(pool) == len(set(specs))
+
+    def test_legacy_payloads_without_faults_parse(self):
+        """Specs serialised before the fault axis existed stay loadable."""
+        for spec in self._specs(count=30):
+            payload = spec.to_dict()
+            payload.pop("faults")
+            restored = ExperimentSpec.from_dict(payload)
+            assert restored.faults is None
+            assert restored.graph == spec.graph
+            assert restored.workload == spec.workload
+            assert restored.schedule == spec.schedule
+
+    def test_legacy_payload_with_only_a_graph(self):
+        payload = {"graph": {"nodes": 12, "density": "sparse", "seed": 3}}
+        restored = ExperimentSpec.from_dict(payload)
+        assert restored.workload is None
+        assert restored.schedule is None
+        assert restored.faults is None
+        assert hash(restored) == hash(ExperimentSpec.from_dict(payload))

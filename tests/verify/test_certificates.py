@@ -19,16 +19,9 @@ from repro.verify.certificates import (
 )
 
 
-def _mst_forest(graph):
-    forest = SpanningForest(graph)
-    for edge in kruskal_mst(graph):
-        forest.mark(edge.u, edge.v)
-    return forest
-
-
 class TestTreePath:
-    def test_path_in_small_tree(self, small_weighted_graph):
-        forest = _mst_forest(small_weighted_graph)
+    def test_path_in_small_tree(self, small_weighted_graph, mst_forest):
+        forest = mst_forest(small_weighted_graph)
         assert tree_path(forest, 1, 4) == [1, 2, 3, 4]
         assert tree_path(forest, 4, 1) == [4, 3, 2, 1]
         assert tree_path(forest, 3, 3) == [3]
@@ -40,16 +33,16 @@ class TestTreePath:
         forest = SpanningForest(graph, marked=[(1, 2), (5, 6)])
         assert tree_path(forest, 1, 5) is None
 
-    def test_unknown_node_rejected(self, small_weighted_graph):
-        forest = _mst_forest(small_weighted_graph)
+    def test_unknown_node_rejected(self, small_weighted_graph, mst_forest):
+        forest = mst_forest(small_weighted_graph)
         with pytest.raises(ForestError):
             tree_path(forest, 1, 99)
 
 
 class TestCertificates:
-    def test_true_mst_has_no_violations(self):
+    def test_true_mst_has_no_violations(self, mst_forest):
         graph = random_connected_graph(20, 70, seed=3)
-        forest = _mst_forest(graph)
+        forest = mst_forest(graph)
         assert violating_non_tree_edges(forest) == []
         assert violating_tree_edges(forest) == []
         check_mst_certificates(forest)
@@ -75,10 +68,10 @@ class TestCertificates:
             check_mst_certificates(forest)
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_agrees_with_kruskal_comparison(self, seed):
+    def test_agrees_with_kruskal_comparison(self, seed, mst_forest):
         """Certificates and edge-set comparison accept/reject the same forests."""
         graph = random_connected_graph(16, 50, seed=seed)
-        mst = _mst_forest(graph)
+        mst = mst_forest(graph)
         assert has_valid_mst_certificates(mst) == is_minimum_spanning_forest(mst)
         # Perturb: swap one tree edge for a heavier parallel path edge if possible.
         non_tree = [
@@ -98,11 +91,11 @@ class TestCertificates:
         report = BuildMST(graph, config=AlgorithmConfig(n=24, seed=7)).run()
         check_mst_certificates(report.forest)
 
-    def test_disconnected_graph_certificates(self):
+    def test_disconnected_graph_certificates(self, mst_forest):
         graph = Graph(id_bits=6)
         graph.add_edge(1, 2, 1)
         graph.add_edge(2, 3, 5)
         graph.add_edge(1, 3, 2)
         graph.add_edge(10, 11, 3)
-        forest = _mst_forest(graph)
+        forest = mst_forest(graph)
         check_mst_certificates(forest)

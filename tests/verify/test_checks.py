@@ -17,20 +17,13 @@ from repro.verify import (
 )
 
 
-def _mst_forest(graph):
-    forest = SpanningForest(graph)
-    for edge in kruskal_mst(graph):
-        forest.mark(edge.u, edge.v)
-    return forest
-
-
 class TestProperlyMarked:
-    def test_ok_when_edges_exist(self, small_weighted_graph):
-        forest = _mst_forest(small_weighted_graph)
+    def test_ok_when_edges_exist(self, small_weighted_graph, mst_forest):
+        forest = mst_forest(small_weighted_graph)
         check_properly_marked(forest)
 
-    def test_detects_dangling_mark(self, small_weighted_graph):
-        forest = _mst_forest(small_weighted_graph)
+    def test_detects_dangling_mark(self, small_weighted_graph, mst_forest):
+        forest = mst_forest(small_weighted_graph)
         # Delete a marked edge from the graph behind the forest's back.
         key = sorted(forest.marked_edges)[0]
         small_weighted_graph.remove_edge(*key)
@@ -39,13 +32,13 @@ class TestProperlyMarked:
 
 
 class TestSpanningForest:
-    def test_accepts_spanning_tree(self, small_weighted_graph):
-        forest = _mst_forest(small_weighted_graph)
+    def test_accepts_spanning_tree(self, small_weighted_graph, mst_forest):
+        forest = mst_forest(small_weighted_graph)
         check_spanning_forest(forest)
         assert is_spanning_forest(forest)
 
-    def test_rejects_disconnected_marking(self, small_weighted_graph):
-        forest = _mst_forest(small_weighted_graph)
+    def test_rejects_disconnected_marking(self, small_weighted_graph, mst_forest):
+        forest = mst_forest(small_weighted_graph)
         forest.unmark(*sorted(forest.marked_edges)[0])
         assert not is_spanning_forest(forest)
 
@@ -63,9 +56,9 @@ class TestSpanningForest:
 
 
 class TestMinimumSpanningForest:
-    def test_accepts_true_mst(self):
+    def test_accepts_true_mst(self, mst_forest):
         graph = random_connected_graph(20, 60, seed=1)
-        forest = _mst_forest(graph)
+        forest = mst_forest(graph)
         check_minimum_spanning_forest(forest)
         assert is_minimum_spanning_forest(forest)
 
@@ -80,6 +73,6 @@ class TestMinimumSpanningForest:
         assert extra == {(1, 3)}
         assert missing == {(1, 2)}
 
-    def test_difference_empty_for_mst(self, small_weighted_graph):
-        forest = _mst_forest(small_weighted_graph)
+    def test_difference_empty_for_mst(self, small_weighted_graph, mst_forest):
+        forest = mst_forest(small_weighted_graph)
         assert mst_difference(forest) == (set(), set())
