@@ -43,6 +43,7 @@ from typing import Optional
 from . import (
     analysis,
     baselines,
+    byzantine,
     core,
     dynamic,
     fastpath,
@@ -137,6 +138,7 @@ __all__ = [
     "api",
     "baselines",
     "build_mst",
+    "byzantine",
     "build_st",
     "core",
     "dynamic",

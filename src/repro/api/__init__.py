@@ -28,6 +28,7 @@ from .engine import ExperimentEngine, ExperimentJob, derive_seed, scenario_grid
 from .faults import (
     FaultProgram,
     FaultSpec,
+    fault_adversarial,
     fault_required_params,
     fault_summaries,
     get_fault,
@@ -73,6 +74,10 @@ from ..network.scheduler import (
 # Importing the adapters registers the built-in algorithms.
 from . import runners  # noqa: E402  (must come after registry)
 
+# Importing the Byzantine package registers the byz-* fault programs and the
+# "bracha" delivery substrate alongside the built-ins.
+from .. import byzantine as _byzantine  # noqa: E402, F401  (must come after .faults)
+
 __all__ = [
     "AlgorithmRunner",
     "DENSITY_PROFILES",
@@ -96,6 +101,7 @@ __all__ = [
     "algorithm_traits",
     "derive_seed",
     "edge_budget",
+    "fault_adversarial",
     "fault_required_params",
     "fault_summaries",
     "get_fault",

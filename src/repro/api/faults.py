@@ -37,6 +37,13 @@ Registered programs
 ``link-storm``
     Fail-stop a burst of random links — the deletion-heavy storm that
     drives ``kkt-repair`` against ``recompute-repair``.
+``byz-corrupt`` / ``byz-equivocate`` / ``byz-replay`` / ``byz-silent``
+    The Byzantine tier (registered by :mod:`repro.byzantine.programs`): a
+    seed-chosen honest-majority subset of nodes lies, equivocates, replays
+    stale traffic or falls silent at the kernel's delivery boundary.  These
+    programs are *adversarial* (``fault_adversarial`` returns ``True``),
+    which is how the differential oracle knows that a non-tolerant
+    algorithm diverging under them is expected rather than a bug.
 """
 
 from __future__ import annotations
@@ -60,6 +67,7 @@ __all__ = [
     "list_faults",
     "fault_summaries",
     "fault_required_params",
+    "fault_adversarial",
 ]
 
 
@@ -114,7 +122,10 @@ _FAULTS: Dict[str, FaultBuilder] = {}
 
 
 def register_fault(
-    name: str, summary: str = "", requires: Tuple[str, ...] = ()
+    name: str,
+    summary: str = "",
+    requires: Tuple[str, ...] = (),
+    adversarial: bool = False,
 ) -> Callable[[FaultBuilder], FaultBuilder]:
     """Function decorator: publish a fault program builder under ``name``.
 
@@ -124,7 +135,9 @@ def register_fault(
     ``graph`` in order.  ``requires`` names ``params`` keys the program
     cannot run without; spec generators consult
     :func:`fault_required_params` to know whether a program is runnable from
-    a bare name.
+    a bare name.  ``adversarial`` marks Byzantine programs — faults that
+    *lie* (tampered payloads, equivocation, replays) rather than merely
+    losing messages, which consumers query via :func:`fault_adversarial`.
 
     >>> @register_fault("quiet", summary="no faults at all")
     ... def quiet(graph, forest, seed=None):
@@ -140,6 +153,7 @@ def register_fault(
         fn.fault_name = name
         fn.summary = summary or (doc_lines[0] if doc_lines else name)
         fn.required_params = tuple(requires)
+        fn.adversarial = bool(adversarial)
         _FAULTS[name] = fn
         return fn
 
@@ -175,6 +189,20 @@ def fault_required_params(name: str) -> Tuple[str, ...]:
     alone, so new fault registrations are fuzzed automatically.
     """
     return tuple(getattr(get_fault(name), "required_params", ()))
+
+
+def fault_adversarial(name: str) -> bool:
+    """Is the fault program Byzantine (it lies) rather than merely lossy?
+
+    Benign programs lose, delay or duplicate messages — any correct
+    algorithm either survives them or is honestly declared
+    ``may_fail_under_faults``.  Adversarial programs additionally *tamper*:
+    corrupted payloads, equivocation, stale replays.  The differential
+    oracle uses this flag together with the ``byzantine_tolerant`` algorithm
+    trait to decide whether a divergence under the program is an expected
+    Byzantine casualty or a real bug.
+    """
+    return bool(getattr(get_fault(name), "adversarial", False))
 
 
 # ---------------------------------------------------------------------- #

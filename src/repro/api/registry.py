@@ -121,6 +121,13 @@ def algorithm_traits(name: str) -> Dict[str, object]:
       *persists* across independent algorithm seeds — such runners accept an
       ``algorithm_seed`` run option that reseeds the coins without changing
       the input graph.  Defaults to ``False`` (a failed check is a bug).
+    * ``byzantine_tolerant`` — ``True`` when the runner's results remain
+      trustworthy under an *adversarial* (Byzantine) fault program — because
+      its message fabric is hardenable by a reliable-broadcast substrate, or
+      because it never routes its protocol through the attacked kernel
+      boundary.  Defaults to ``False``: an unknown algorithm under a
+      Byzantine adversary is assumed compromised, so the differential
+      oracle flags rather than trusts its divergences.
     """
     cls = _REGISTRY.get(name)
     if cls is None:
@@ -129,6 +136,7 @@ def algorithm_traits(name: str) -> Dict[str, object]:
         "invariant": getattr(cls, "invariant", "spanning"),
         "may_fail_under_faults": bool(getattr(cls, "may_fail_under_faults", False)),
         "monte_carlo": bool(getattr(cls, "monte_carlo", False)),
+        "byzantine_tolerant": bool(getattr(cls, "byzantine_tolerant", False)),
     }
 
 

@@ -6,7 +6,9 @@ algorithm in the registry is runnable by name, results are uniform
 worker processes.
 
 * ``run <algorithm>`` — run any registered algorithm on a generated graph,
-  optionally under ``--workload`` / ``--schedule`` / ``--fault``;
+  optionally under ``--workload`` / ``--schedule`` / ``--fault``, and (for
+  the KKT runners) over a hardened ``--substrate`` such as Bracha reliable
+  broadcast;
 * ``compare <algo> <algo> ...`` — head-to-head on the *same* graph spec;
 * ``sweep`` — size sweep; ``--algorithms ... --jobs N`` runs the registry
   grid in parallel, the legacy ``--kind`` form prints the normalised table;
@@ -22,7 +24,7 @@ worker processes.
 * ``trace record`` / ``trace replay`` — save a workload run as a JSON trace
   and replay it bit-for-bit later;
 * ``bench`` — time the registered micro-benchmarks on the fast path *and*
-  the reference path, assert counter equality and write ``BENCH_PR4.json``;
+  the reference path, assert counter equality and write ``BENCH_PR6.json``;
   ``--baseline PATH`` additionally compares the speedups against a committed
   trajectory report and fails on a >25% regression;
 * ``fuzz run`` — a seeded differential-fuzzing campaign over random
@@ -42,6 +44,8 @@ Examples
     python -m repro run kkt-mst --nodes 96 --density complete --seed 7
     python -m repro run kkt-repair --nodes 48 --workload weight-ramp --schedule random
     python -m repro run kkt-repair --nodes 48 --fault link-storm
+    python -m repro run flooding --nodes 24 --fault byz-equivocate
+    python -m repro run kkt-mst --nodes 64 --substrate bracha
     python -m repro compare kkt-mst ghs --nodes 64 --seed 1
     python -m repro sweep --algorithms kkt-st flooding --sizes 32 64 96 --jobs 4 --json
     python -m repro suite --algorithms kkt-repair recompute-repair \
@@ -74,6 +78,7 @@ from .api import (
     ScheduleSpec,
     WorkloadSpec,
     algorithm_summaries,
+    fault_adversarial,
     fault_summaries,
     get_runner,
     list_faults,
@@ -88,6 +93,7 @@ from .core.build_mst import BuildMST
 from .core.build_st import BuildST
 from .core.config import AlgorithmConfig
 from .dynamic import TreeMaintainer, UpdateKind, UpdateTrace
+from .network.broadcast import list_substrates
 from .network.errors import AlgorithmError
 from .verify import is_minimum_spanning_forest, is_spanning_forest
 
@@ -137,6 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="deliver messages under an adversarial scheduler")
     run_cmd.add_argument("--fault", choices=sorted(list_faults()),
                          help="run the scenario under a registered fault program")
+    run_cmd.add_argument("--substrate", choices=sorted(list_substrates()),
+                         default="plain",
+                         help="delivery substrate for the broadcast-and-echo "
+                              "fabric ('bracha' hardens every hop with "
+                              "reliable broadcast; KKT runners only)")
     run_cmd.add_argument("--trace", metavar="PATH",
                          help="trace file for the trace-replay workload")
     run_cmd.add_argument("--json", action="store_true", help="emit the RunResult as JSON")
@@ -246,7 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=2015)
     bench.add_argument("--json", action="store_true",
                        help="print the report JSON to stdout instead of a table")
-    bench.add_argument("--out", metavar="PATH", default="BENCH_PR4.json",
+    bench.add_argument("--out", metavar="PATH", default="BENCH_PR6.json",
                        help="where to write the JSON report "
                             "(default: %(default)s; '-' disables the file)")
     bench.add_argument("--baseline", metavar="PATH",
@@ -373,7 +384,11 @@ def _runner_options(runner, args: argparse.Namespace) -> dict:
     Routing is by the runner's own ``run`` signature, so algorithms
     registered outside this package pick up the flags too.
     """
-    candidates = {"c": args.error_exponent, "updates": getattr(args, "updates", None)}
+    candidates = {
+        "c": args.error_exponent,
+        "updates": getattr(args, "updates", None),
+        "substrate": getattr(args, "substrate", None),
+    }
     accepted = inspect.signature(runner.run).parameters
     return {
         key: value
@@ -463,9 +478,11 @@ def _fault_names(raw: Sequence[str]) -> List[str]:
 
 
 def _command_faults(_args: argparse.Namespace) -> int:
-    table = ExperimentTable("faults", "Registered fault programs", ["name", "summary"])
+    table = ExperimentTable(
+        "faults", "Registered fault programs", ["name", "adversarial", "summary"]
+    )
     for name, summary in fault_summaries().items():
-        table.add_row(name, summary)
+        table.add_row(name, "yes" if fault_adversarial(name) else "-", summary)
     print(table.render())
     return 0
 
@@ -719,7 +736,7 @@ def _command_bench(args: argparse.Namespace) -> int:
                 record["benchmark"],
                 record["n"],
                 record["m"],
-                record["counters"]["messages"],
+                record["counters"].get("messages", "-"),
                 record["wall_s_reference"],
                 record["wall_s_fast"],
                 record["speedup"],
@@ -758,10 +775,20 @@ def _command_bench(args: argparse.Namespace) -> int:
                 "in baseline but not in this run (unchecked): "
                 + ", ".join(comparison["uncompared"])
             )
+        table.add_note(
+            f"aggregate speedup ratio (geomean): {comparison['aggregate_ratio']:.3f}x"
+        )
         print(table.render())
+        if comparison["aggregate_regressed"]:
+            print(
+                "repro: error: aggregate speedup regressed by more than 25% "
+                f"vs baseline (geomean ratio {comparison['aggregate_ratio']:.3f})",
+                file=sys.stderr,
+            )
+            return 1
         if comparison["regressions"]:
             print(
-                "repro: error: speedup regressed by more than 25% on: "
+                "repro: error: speedup regressed by more than 50% on: "
                 + ", ".join(comparison["regressions"]),
                 file=sys.stderr,
             )

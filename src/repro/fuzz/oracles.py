@@ -18,7 +18,11 @@ Shipped oracles
     agreement is relaxed to minimum total weight, mirroring the runners'
     documented semantics.  :func:`~repro.api.registry.algorithm_traits`
     supplies each algorithm's claimed invariant, so newly registered
-    algorithms are checked at exactly the strength they declare.
+    algorithms are checked at exactly the strength they declare.  Under an
+    *adversarial* (Byzantine) fault program, algorithms without the
+    ``byzantine_tolerant`` trait are flagged-not-failed: their divergence is
+    the attack's expected outcome, counted in the oracle's stats rather than
+    reported as a violation, while tolerant algorithms stay fully checked.
 ``fastpath``
     A deterministically chosen sample of algorithms is re-run under
     :func:`repro.fastpath.reference_path`; messages/bits/rounds/phases and
@@ -50,6 +54,7 @@ from ..api import (
     RunResult,
     algorithm_traits,
     derive_seed,
+    fault_adversarial,
     get_runner,
     list_algorithms,
 )
@@ -208,16 +213,29 @@ class DifferentialOracle:
             raise AlgorithmError("the differential oracle needs at least 1 retry")
         self.retries = retries
         self.retry_c = retry_c
-        self.stats: Dict[str, int] = {"monte_carlo_suspects": 0, "monte_carlo_blips": 0}
+        self.stats: Dict[str, int] = {
+            "monte_carlo_suspects": 0,
+            "monte_carlo_blips": 0,
+            "byzantine_flagged": 0,
+        }
 
     def examine(self, spec: ExperimentSpec, context: CaseContext) -> List[Violation]:
         violations: List[Violation] = []
         faults_active = _active_faults(spec)
+        byzantine = faults_active and fault_adversarial(spec.faults.name)
         for algorithm in context.algorithms:
             traits = algorithm_traits(algorithm)
             if faults_active and traits["may_fail_under_faults"]:
                 # An incomplete tree under injected faults is the
                 # experiment's finding, not a bug — nothing to cross-check.
+                continue
+            if byzantine and not traits["byzantine_tolerant"]:
+                # Under an adversarial program a non-tolerant algorithm may
+                # legitimately diverge — that is the attack working.  Flag
+                # the casualty in stats; never trust it, never fail it.
+                result = context.result(algorithm)
+                if not all(result.checks.values()):
+                    self.stats["byzantine_flagged"] += 1
                 continue
             result = context.result(algorithm)
             failed = sorted(name for name, ok in result.checks.items() if not ok)

@@ -19,12 +19,22 @@ are provided:
   and assert that message counts, bit counts and results agree
   (``tests/network/test_broadcast.py``); this is what justifies using the
   fast path for the large benchmark runs.
+
+Both realisations assume reliable point-to-point delivery.  That assumption
+is itself pluggable: a registered :class:`DeliverySubstrate` (see
+:func:`register_substrate` / :func:`delivery_substrate`) replaces each
+logical tree-hop message with a hardened delivery protocol — the Bracha
+reliable-broadcast substrate of :mod:`repro.byzantine` being the shipped
+example — and charges its messages, bits and rounds through the same
+accountant.  The plain substrate is the historical direct send and keeps
+every counter bit-identical.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .. import fastpath
 from .accounting import MessageAccountant
@@ -40,6 +50,12 @@ __all__ = [
     "BroadcastEchoExecutor",
     "BroadcastEchoProtocolNode",
     "run_reference_broadcast_echo",
+    "DeliverySubstrate",
+    "register_substrate",
+    "list_substrates",
+    "make_substrate",
+    "delivery_substrate",
+    "active_substrate",
 ]
 
 # A node-local value callback: (node_id) -> value.  The callback must only use
@@ -177,13 +193,132 @@ def build_tree_structure(forest: SpanningForest, root: int) -> TreeStructure:
     return TreeStructure(root, parent, children, depth)
 
 
-class BroadcastEchoExecutor:
-    """Fast-path broadcast-and-echo with exact CONGEST accounting."""
+# ---------------------------------------------------------------------- #
+# delivery substrates
+# ---------------------------------------------------------------------- #
+class DeliverySubstrate:
+    """How one logical tree-hop message is realised on the wire.
 
-    def __init__(self, graph: Graph, forest: SpanningForest, accountant: MessageAccountant):
+    The plain substrate (``None`` everywhere) is a direct CONGEST send: one
+    message, the declared bit width, one round per hop — exactly the
+    historical accounting.  A hardened substrate replaces each logical hop
+    with a reliable-delivery protocol instance and charges *its* messages,
+    bits and rounds instead (see
+    :class:`repro.byzantine.substrate.BrachaSubstrate`).  Substrates only
+    change the accounting: the values flowing through the broadcast are
+    untouched, which is what makes "same tree, higher cost" a checkable
+    contract.
+    """
+
+    name = "substrate"
+    #: Wire rounds one logical hop costs (plain delivery: 1).
+    rounds_per_hop = 1
+
+    def charge_messages(
+        self, accountant: MessageAccountant, count: int, size_bits: int, kind: str
+    ) -> None:
+        """Charge ``count`` logical messages of ``size_bits`` bits each."""
+        raise NotImplementedError
+
+
+#: A substrate builder: ``(n=..., **params) -> Optional[DeliverySubstrate]``.
+SubstrateBuilder = Callable[..., Optional[DeliverySubstrate]]
+
+_SUBSTRATES: Dict[str, SubstrateBuilder] = {}
+
+#: The process-wide default substrate installed by :func:`delivery_substrate`.
+_ACTIVE_SUBSTRATE: Optional[DeliverySubstrate] = None
+
+
+def register_substrate(name: str) -> Callable[[SubstrateBuilder], SubstrateBuilder]:
+    """Function decorator: publish a delivery-substrate builder under ``name``.
+
+    Mirrors the fault/workload registries: builders take keyword parameters
+    (at least ``n``, the system size) and return a
+    :class:`DeliverySubstrate` — or ``None`` for the plain direct-send
+    substrate, which keeps the executor on its historical bit-identical
+    code path.
+    """
+    if not name or name != name.strip().lower():
+        raise ProtocolError(f"substrate names must be non-empty lowercase, got {name!r}")
+
+    def decorate(fn: SubstrateBuilder) -> SubstrateBuilder:
+        if name in _SUBSTRATES and _SUBSTRATES[name] is not fn:
+            raise ProtocolError(f"delivery substrate {name!r} is already registered")
+        _SUBSTRATES[name] = fn
+        return fn
+
+    return decorate
+
+
+def list_substrates() -> List[str]:
+    """The registered delivery-substrate names, sorted."""
+    return sorted(_SUBSTRATES)
+
+
+def make_substrate(name: str, **params: Any) -> Optional[DeliverySubstrate]:
+    """Build the substrate registered under ``name`` (``"plain"`` -> ``None``)."""
+    try:
+        builder = _SUBSTRATES[name]
+    except KeyError:
+        known = ", ".join(list_substrates()) or "<none>"
+        raise ProtocolError(
+            f"unknown delivery substrate {name!r}; registered substrates: {known}"
+        ) from None
+    return builder(**params)
+
+
+@register_substrate("plain")
+def _plain_substrate(**_params: Any) -> None:
+    """Direct CONGEST sends: the historical, bit-identical accounting."""
+    return None
+
+
+@contextmanager
+def delivery_substrate(substrate: Optional[DeliverySubstrate]) -> Iterator[None]:
+    """Install ``substrate`` as the process-wide default for the block.
+
+    Executors constructed without an explicit ``substrate`` consult the
+    active default at charge time, so a whole algorithm run — including the
+    executors it builds internally — can be hardened by wrapping it here.
+    ``None`` (the plain substrate) makes the block a no-op.
+    """
+    global _ACTIVE_SUBSTRATE
+    previous = _ACTIVE_SUBSTRATE
+    _ACTIVE_SUBSTRATE = substrate
+    try:
+        yield
+    finally:
+        _ACTIVE_SUBSTRATE = previous
+
+
+def active_substrate() -> Optional[DeliverySubstrate]:
+    """The process-wide default substrate (``None`` = plain delivery)."""
+    return _ACTIVE_SUBSTRATE
+
+
+class BroadcastEchoExecutor:
+    """Fast-path broadcast-and-echo with exact CONGEST accounting.
+
+    ``substrate`` optionally names how each logical tree-hop message is
+    realised on the wire (default: the plain direct send, or whatever
+    :func:`delivery_substrate` installed for the surrounding block).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        forest: SpanningForest,
+        accountant: MessageAccountant,
+        substrate: Optional[DeliverySubstrate] = None,
+    ):
         self.graph = graph
         self.forest = forest
         self.accountant = accountant
+        self.substrate = substrate
+
+    def _substrate(self) -> Optional[DeliverySubstrate]:
+        return self.substrate if self.substrate is not None else _ACTIVE_SUBSTRATE
 
     # ------------------------------------------------------------------ #
     # primitives
@@ -221,8 +356,17 @@ class BroadcastEchoExecutor:
     ) -> TreeStructure:
         """A broadcast with no echo (e.g. "stop", "add edge", leader announce)."""
         structure = tree if tree is not None else self.forest.rooted_structure(root)
-        self.accountant.record_messages(structure.num_edges, broadcast_bits, kind=kind)
-        self.accountant.record_rounds(structure.eccentricity)
+        substrate = self._substrate()
+        if substrate is None:
+            self.accountant.record_messages(structure.num_edges, broadcast_bits, kind=kind)
+            self.accountant.record_rounds(structure.eccentricity)
+        else:
+            substrate.charge_messages(
+                self.accountant, structure.num_edges, broadcast_bits, kind
+            )
+            self.accountant.record_rounds(
+                substrate.rounds_per_hop * structure.eccentricity
+            )
         return structure
 
     def broadcast_with_downward_state(
@@ -262,8 +406,13 @@ class BroadcastEchoExecutor:
         """Charge a single message over the (graph) edge ``{u, v}``."""
         if not self.graph.has_edge(u, v):
             raise ProtocolError(f"no edge ({u}, {v}) to send along")
-        self.accountant.record_message(size_bits, kind=kind)
-        self.accountant.record_rounds(1)
+        substrate = self._substrate()
+        if substrate is None:
+            self.accountant.record_message(size_bits, kind=kind)
+            self.accountant.record_rounds(1)
+        else:
+            substrate.charge_messages(self.accountant, 1, size_bits, kind)
+            self.accountant.record_rounds(substrate.rounds_per_hop)
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -273,9 +422,19 @@ class BroadcastEchoExecutor:
     ) -> None:
         self.accountant.record_broadcast_echo()
         edges = structure.num_edges
-        self.accountant.record_messages(edges, broadcast_bits, kind=f"{kind}:bcast")
-        self.accountant.record_messages(edges, echo_bits, kind=f"{kind}:echo")
-        self.accountant.record_rounds(2 * structure.eccentricity)
+        substrate = self._substrate()
+        if substrate is None:
+            self.accountant.record_messages(edges, broadcast_bits, kind=f"{kind}:bcast")
+            self.accountant.record_messages(edges, echo_bits, kind=f"{kind}:echo")
+            self.accountant.record_rounds(2 * structure.eccentricity)
+        else:
+            substrate.charge_messages(
+                self.accountant, edges, broadcast_bits, f"{kind}:bcast"
+            )
+            substrate.charge_messages(self.accountant, edges, echo_bits, f"{kind}:echo")
+            self.accountant.record_rounds(
+                substrate.rounds_per_hop * 2 * structure.eccentricity
+            )
 
 
 # ---------------------------------------------------------------------- #

@@ -159,6 +159,24 @@ class FaultInjector:
         """Remember a duplicate copy so it is never re-duplicated."""
         self._copies.add(copy.sequence)
 
+    def on_deliver(self, message: Message, time: int) -> Optional[Message]:
+        """Hook: last look at a message that *will* reach its handler.
+
+        Called by the kernel after :meth:`verdict` returned ``DELIVER`` (or
+        ``DUPLICATE``) and immediately before the receiver's ``on_message``
+        runs.  Subclasses — the Byzantine behaviours in
+        :mod:`repro.byzantine.behaviors`, notably — may mutate the message
+        in place (payload corruption, equivocation) and/or return an extra
+        :class:`Message` the kernel should enqueue as a fresh wire send (a
+        stale replay), whose cost the kernel charges to the accountant like
+        any other message.
+
+        The base implementation does nothing and returns ``None``: an
+        injector without adversarial behaviour is bit-identical to the
+        pre-Byzantine fault boundary.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # the observable fault history
     # ------------------------------------------------------------------ #

@@ -22,8 +22,12 @@ Faults are injected at the kernel's delivery boundary: when a
 popped for delivery is first passed through :meth:`EventKernel._admit`, which
 drops messages to crashed nodes, messages on failed or partitioned links and
 (seed-deterministically) messages on lossy links, and enqueues duplicate
-copies.  Every protocol — flooding, broadcast-and-echo, leader election —
-therefore sees the same fault model without knowing about it.  With no
+copies.  Adversarial *node* behaviours (see :mod:`repro.byzantine`) ride the
+same boundary: an installed :class:`~repro.byzantine.ByzantineInjector` may
+additionally silence, corrupt or equivocate the payloads of compromised
+senders and replay their stale messages.  Every protocol — flooding,
+broadcast-and-echo, leader election — therefore sees the same fault model
+without knowing about it.  With no
 injector installed the kernel behaves bit-identically to the historical
 engines: same counters, same delivery orders, same error messages.
 """
@@ -340,23 +344,31 @@ class EventKernel:
         This is the single point where faults act: crash-stop receivers,
         failed or partitioned links and lossy drops suppress the delivery;
         lossy duplication re-queues a copy (whose wire cost is charged to the
-        accountant like any other message).
+        accountant like any other message).  Byzantine behaviours act here
+        too: an admitted message takes one last trip through the injector's
+        :meth:`~repro.network.faults.FaultInjector.on_deliver` hook, which
+        may tamper with it in place (corruption, equivocation) and/or hand
+        back a stale replay the kernel enqueues — and charges — like a
+        duplicate.
         """
         if self.faults is None:
             return True
         from .faults import DELIVER, DUPLICATE  # local: avoid import cycle
 
-        verdict = self.faults.verdict(message, self.synchrony.clock())
+        clock = self.synchrony.clock()
+        verdict = self.faults.verdict(message, clock)
         if verdict == DUPLICATE:
-            copy = Message(
-                sender=message.sender,
-                receiver=message.receiver,
-                kind=message.kind,
-                payload=message.payload,
-                size_bits=message.size_bits,
-            )
+            copy = message.clone()
             self.faults.mark_duplicate(copy)
             self.synchrony.stamp_duplicate(copy, message)
             self.accountant.record_message(copy.size_bits, kind=copy.kind)
-            return True
-        return verdict == DELIVER
+        elif verdict != DELIVER:
+            return False
+        extra = self.faults.on_deliver(message, clock)
+        if extra is not None:
+            # A replayed message is the *same* stale send put back on the
+            # wire: like a duplicate it sits at the triggering delivery's
+            # causal depth and its wire cost is charged as a fresh message.
+            self.synchrony.stamp_duplicate(extra, message)
+            self.accountant.record_message(extra.size_bits, kind=extra.kind)
+        return True

@@ -13,7 +13,7 @@ about those widths (e.g. the echo of ``TestOut`` is a single bit, Lemma 1).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 __all__ = ["Message", "message_bits_for_value"]
@@ -59,6 +59,18 @@ class Message:
     def __post_init__(self) -> None:
         if self.size_bits < 1:
             raise ValueError("every message carries at least one bit")
+
+    def clone(self) -> "Message":
+        """A fresh copy of this message, as if the same content were re-sent.
+
+        The copy carries the identical wire content (endpoints, kind, payload
+        reference, declared bit size — and any field added in the future,
+        via :func:`dataclasses.replace`) but is a *new* send: it gets its own
+        sequence number and an unset ``send_time`` for the engine to stamp.
+        This is what the fault layer uses for duplicated and replayed
+        deliveries.
+        """
+        return replace(self, send_time=None, sequence=next(_SEQUENCE))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -37,7 +37,17 @@ from repro.dynamic import UpdateKind
 from repro.network.errors import AlgorithmError
 from repro.network.scheduler import list_schedulers
 
-BUILTIN_FAULTS = ["crash-leaves", "link-storm", "lossy-uniform", "none", "partition-heal"]
+BUILTIN_FAULTS = [
+    "byz-corrupt",
+    "byz-equivocate",
+    "byz-replay",
+    "byz-silent",
+    "crash-leaves",
+    "link-storm",
+    "lossy-uniform",
+    "none",
+    "partition-heal",
+]
 
 
 def _graph_and_forest(nodes=24, density="sparse", seed=3):

@@ -6,6 +6,7 @@ import pytest
 
 from repro.bench import (
     SCHEMA,
+    compare_to_baseline,
     list_benchmarks,
     run_benchmark,
     run_benchmarks,
@@ -18,6 +19,8 @@ from repro.network.errors import AlgorithmError
 class TestRegistry:
     def test_expected_benchmarks_registered(self):
         assert list_benchmarks() == [
+            "bench_broadcast_byzantine",
+            "bench_broadcast_byzantine_sparse",
             "bench_build_mst",
             "bench_build_st",
             "bench_findany",
@@ -66,12 +69,66 @@ class TestRunBenchmark:
         report = run_benchmarks(names=["bench_build_st"], sizes=[16, 20])
         assert [r["n"] for r in report["results"]] == [16, 20]
 
+    def test_byzantine_overhead_counters(self):
+        record = run_benchmark("bench_broadcast_byzantine", 32, seed=2)
+        assert record.counters_equal  # substrate charging is path-invariant
+        counters = record.counters
+        assert counters["bracha_messages"] > counters["plain_messages"]
+        assert counters["bracha_rounds"] == 3 * counters["plain_rounds"]
+        assert counters["overhead_x100"] > 100  # hardening is never free
+        assert all(isinstance(value, int) for value in counters.values())
+
+
+def _report(*rows):
+    return {
+        "schema": SCHEMA,
+        "results": [
+            {"benchmark": name, "n": n, "speedup": speedup}
+            for name, n, speedup in rows
+        ],
+    }
+
+
+class TestCompareToBaseline:
+    def test_single_row_noise_within_floor_passes(self):
+        # A one-sample -31% wobble on one benchmark (the same commit scores
+        # 3.0x or 4.3x on a loaded machine) must not fail the gate while the
+        # aggregate trajectory is healthy.
+        baseline = _report(("a", 64, 4.32), ("b", 64, 10.0), ("c", 64, 2.0))
+        current = _report(("a", 64, 3.0), ("b", 64, 10.5), ("c", 64, 2.1))
+        comparison = compare_to_baseline(current, baseline)
+        assert comparison["regressions"] == []
+        assert not comparison["aggregate_regressed"]
+        flagged = [r["benchmark"] for r in comparison["rows"] if r["regressed"]]
+        assert flagged == []
+
+    def test_aggregate_decline_fails(self):
+        baseline = _report(("a", 64, 4.0), ("b", 64, 10.0), ("c", 64, 2.0))
+        current = _report(("a", 64, 2.8), ("b", 64, 7.0), ("c", 64, 1.4))
+        comparison = compare_to_baseline(current, baseline)
+        assert comparison["aggregate_regressed"]
+        assert comparison["aggregate_ratio"] == 0.7
+
+    def test_single_crater_fails_even_with_healthy_aggregate(self):
+        baseline = _report(("a", 64, 10.0), ("b", 64, 2.0), ("c", 64, 2.0))
+        current = _report(("a", 64, 3.0), ("b", 64, 4.0), ("c", 64, 4.0))
+        comparison = compare_to_baseline(current, baseline)
+        assert not comparison["aggregate_regressed"]
+        assert comparison["regressions"] == ["a@n=64"]
+
+    def test_partial_run_is_reported_not_silently_passed(self):
+        baseline = _report(("a", 64, 4.0), ("b", 64, 2.0))
+        current = _report(("a", 64, 4.0), ("z", 64, 1.0))
+        comparison = compare_to_baseline(current, baseline)
+        assert comparison["missing"] == ["z@n=64"]
+        assert comparison["uncompared"] == ["b@n=64"]
+
 
 class TestBenchCli:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench", "--quick"])
         assert args.quick is True
-        assert args.out == "BENCH_PR4.json"
+        assert args.out == "BENCH_PR6.json"
         assert args.benchmarks is None
         assert args.baseline is None
 
@@ -102,3 +159,21 @@ class TestBenchCli:
         assert code == 0
         assert "bench_testout" in out
         assert "speedup" in out
+
+    def test_bench_table_renders_substrate_counters(self, capsys):
+        # The byzantine benchmarks carry plain_*/bracha_* counters with no
+        # bare "messages" key; the table view must not choke on them.
+        code = main(
+            [
+                "bench",
+                "--benchmarks",
+                "bench_broadcast_byzantine",
+                "--sizes",
+                "16",
+                "--out",
+                "-",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bench_broadcast_byzantine" in out

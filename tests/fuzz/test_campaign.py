@@ -90,6 +90,7 @@ class TestCleanCampaign:
         assert differential.stats == {
             "monte_carlo_suspects": 0,
             "monte_carlo_blips": 0,
+            "byzantine_flagged": 0,
         }
 
 

@@ -193,6 +193,81 @@ class TestProvenanceOracle:
         assert "n=999" in violations[0].detail
 
 
+@pytest.fixture
+def fragile_algorithm():
+    """Register a runner with no Byzantine tolerance whose checks fail.
+
+    Under an adversarial fault program its failure is the attack working —
+    the differential oracle must flag it in stats, not report a violation.
+    Under a benign program the same failure is a plain bug.
+    """
+    from repro.api.result import RunResult
+
+    @register("fragile", summary="falls over whenever anyone lies")
+    class FragileRunner:
+        invariant = "spanning"
+
+        def run(self, spec, **options):
+            experiment = ExperimentSpec.coerce(spec)
+            graph = experiment.graph.build()
+            faulted = experiment.faults is not None and not experiment.faults.is_none
+            return RunResult(
+                algorithm=self.name,
+                spec=experiment.graph,
+                n=graph.num_nodes,
+                m=graph.num_edges,
+                messages=0,
+                bits=0,
+                rounds=0,
+                phases=0,
+                wall_time_s=0.0,
+                checks={"reached": not faulted},
+            )
+
+    yield "fragile"
+    registry_module._REGISTRY.pop("fragile", None)
+
+
+class TestByzantineFlagNotFail:
+    def test_nontolerant_casualty_is_flagged_not_failed(self, fragile_algorithm):
+        from repro.api import FaultSpec
+
+        spec = ExperimentSpec(
+            graph=GraphSpec(nodes=12, density="sparse", seed=1),
+            faults=FaultSpec(name="byz-equivocate"),
+        )
+        oracle = DifferentialOracle()
+        assert oracle.examine(spec, _context(spec, [fragile_algorithm])) == []
+        assert oracle.stats["byzantine_flagged"] == 1
+
+    def test_same_failure_under_a_benign_program_is_a_violation(
+        self, fragile_algorithm
+    ):
+        from repro.api import FaultSpec
+
+        spec = ExperimentSpec(
+            graph=GraphSpec(nodes=12, density="sparse", seed=1),
+            faults=FaultSpec(name="link-storm"),
+        )
+        oracle = DifferentialOracle()
+        violations = oracle.examine(spec, _context(spec, [fragile_algorithm]))
+        assert len(violations) == 1
+        assert "runner checks failed" in violations[0].detail
+        assert oracle.stats["byzantine_flagged"] == 0
+
+    def test_tolerant_algorithms_stay_fully_checked(self):
+        from repro.api import FaultSpec, algorithm_traits
+
+        assert algorithm_traits("kkt-mst")["byzantine_tolerant"]
+        spec = ExperimentSpec(
+            graph=GraphSpec(nodes=12, density="sparse", seed=3),
+            faults=FaultSpec(name="byz-silent"),
+        )
+        oracle = DifferentialOracle()
+        assert oracle.examine(spec, _context(spec, ["kkt-mst"])) == []
+        assert oracle.stats["byzantine_flagged"] == 0
+
+
 class TestMakeOracles:
     def test_unknown_name_rejected(self):
         with pytest.raises(AlgorithmError, match="registered oracles"):

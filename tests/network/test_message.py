@@ -37,3 +37,25 @@ class TestMessage:
     def test_payload_is_free_form(self):
         msg = Message(sender=1, receiver=2, kind="DATA", payload={"x": [1, 2]}, size_bits=32)
         assert msg.payload["x"] == [1, 2]
+
+
+class TestClone:
+    def test_clone_keeps_the_wire_content(self):
+        msg = Message(sender=3, receiver=7, kind="ECHO", payload=(1, 2), size_bits=16)
+        copy = msg.clone()
+        assert (copy.sender, copy.receiver, copy.kind) == (3, 7, "ECHO")
+        assert copy.payload is msg.payload  # same content, not a deep copy
+        assert copy.size_bits == msg.size_bits
+
+    def test_clone_is_a_fresh_send(self):
+        msg = Message(sender=1, receiver=2, kind="PING")
+        msg.send_time = 9
+        copy = msg.clone()
+        assert copy.sequence > msg.sequence  # its own identity
+        assert copy.send_time is None  # for the engine to stamp
+        assert msg.send_time == 9  # the original is untouched
+
+    def test_clones_of_clones_keep_advancing_the_sequence(self):
+        msg = Message(sender=1, receiver=2, kind="PING")
+        first, second = msg.clone(), msg.clone().clone()
+        assert len({msg.sequence, first.sequence, second.sequence}) == 3
