@@ -24,7 +24,14 @@ This package is the one public surface for *running* algorithms:
 True
 """
 
-from .engine import ExperimentEngine, ExperimentJob, derive_seed, scenario_grid
+from .canonical import canonical_json, content_hash, short_hash
+from .engine import (
+    ExperimentEngine,
+    ExperimentJob,
+    derive_seed,
+    error_result,
+    scenario_grid,
+)
 from .faults import (
     FaultProgram,
     FaultSpec,
@@ -99,8 +106,11 @@ __all__ = [
     "WorkloadSpec",
     "algorithm_summaries",
     "algorithm_traits",
+    "canonical_json",
+    "content_hash",
     "derive_seed",
     "edge_budget",
+    "error_result",
     "fault_adversarial",
     "fault_required_params",
     "fault_summaries",
@@ -118,6 +128,7 @@ __all__ = [
     "run",
     "runners",
     "scenario_grid",
+    "short_hash",
     "stream_fingerprint",
     "workload_required_params",
     "workload_summaries",

@@ -1,0 +1,56 @@
+"""Canonical JSON and content addressing: one hash for the whole platform.
+
+Because the experiment engine guarantees parallel == serial determinism, a
+run's outcome is a pure function of ``(algorithm, spec, options)`` — which
+makes *content addressing* the natural key for anything that stores or
+deduplicates experiment artifacts.  Two subsystems already relied on that
+property with private copies of the same recipe (``json.dumps(payload,
+sort_keys=True)`` piped through sha256): the fuzz corpus's reproducer ids
+and, as of this PR, the experiment service's result store.  This module is
+the single shared definition.
+
+The canonical form is deliberately the *default* :func:`json.dumps`
+rendering with ``sort_keys=True``: no indent, ``", "`` / ``": "``
+separators, ASCII-escaped non-ASCII.  That choice is pinned by golden-value
+tests (``tests/api/test_canonical.py``) because every persisted corpus id
+and every content-addressed store file depends on it staying stable across
+Python versions and refactors.
+
+>>> canonical_json({"b": 1, "a": 2})
+'{"a": 2, "b": 1}'
+>>> content_hash({"b": 1, "a": 2})[:12] == short_hash({"a": 2, "b": 1})
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "content_hash", "short_hash"]
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON rendering of ``payload`` (sorted keys, no indent).
+
+    Equal payloads — regardless of dict insertion order — render to the
+    identical string, so the rendering is safe to hash, byte-compare and
+    persist.  ``payload`` must be JSON-serialisable (plain dicts, lists,
+    strings, numbers, bools, ``None``).
+    """
+    return json.dumps(payload, sort_keys=True)
+
+
+def content_hash(payload: Any) -> str:
+    """The sha256 hex digest (64 chars) of the canonical JSON of ``payload``.
+
+    This is the content address used by the experiment service's result
+    store and exposed as :meth:`ExperimentSpec.content_hash`.
+    """
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def short_hash(payload: Any, length: int = 12) -> str:
+    """A ``length``-char prefix of :func:`content_hash` (corpus-id sized)."""
+    return content_hash(payload)[:length]

@@ -32,7 +32,13 @@ from .result import RunResult
 from .scenario import ExperimentSpec, ScheduleSpec, WorkloadSpec
 from .spec import GraphSpec
 
-__all__ = ["ExperimentJob", "ExperimentEngine", "derive_seed", "scenario_grid"]
+__all__ = [
+    "ExperimentJob",
+    "ExperimentEngine",
+    "derive_seed",
+    "error_result",
+    "scenario_grid",
+]
 
 
 #: Large odd multipliers for the splitmix-style seed derivation below.
@@ -101,14 +107,58 @@ def scenario_grid(
     return jobs
 
 
-def _execute_payload(payload: Tuple[str, Dict[str, Any], Dict[str, Any]]) -> Dict[str, Any]:
-    """Worker entry point: rebuild the job from plain data and run it."""
-    algorithm, spec_dict, options = payload
+def error_result(
+    algorithm: str, spec: Union[GraphSpec, ExperimentSpec], error: BaseException
+) -> RunResult:
+    """A deterministic per-job error record for a runner that raised.
+
+    All cost counters are zero and ``wall_time_s`` is pinned to ``0.0`` so a
+    suite containing failures still satisfies the parallel == serial
+    byte-identity contract; the failure itself lands in ``checks`` (a
+    ``completed: False`` entry makes ``result.ok`` False) and ``extra``
+    (``error`` / ``error_type``).
+    """
+    graph = spec.graph if isinstance(spec, ExperimentSpec) else spec
+    scenario = spec if isinstance(spec, ExperimentSpec) else None
+    return RunResult(
+        algorithm=algorithm,
+        spec=graph,
+        n=graph.nodes,
+        m=0,
+        messages=0,
+        bits=0,
+        rounds=0,
+        phases=0,
+        wall_time_s=0.0,
+        checks={"completed": False},
+        extra={"error": str(error), "error_type": type(error).__name__},
+        workload=None if scenario is None else scenario.workload,
+        schedule=None if scenario is None else scenario.schedule,
+        faults=None if scenario is None else scenario.faults,
+    )
+
+
+def _execute_payload(
+    payload: Tuple[str, Dict[str, Any], Dict[str, Any], str]
+) -> Dict[str, Any]:
+    """Worker entry point: rebuild the job from plain data and run it.
+
+    With ``on_error="record"`` a raising runner becomes an
+    :func:`error_result` record instead of propagating out of the worker and
+    killing the whole pool run; spec-construction errors are *not* absorbed —
+    a malformed payload is a caller bug either way.
+    """
+    algorithm, spec_dict, options, on_error = payload
     if "graph" in spec_dict:
         spec: Union[GraphSpec, ExperimentSpec] = ExperimentSpec.from_dict(spec_dict)
     else:
         spec = GraphSpec.from_dict(spec_dict)
-    result = run(algorithm, spec, **options)
+    try:
+        result = run(algorithm, spec, **options)
+    except Exception as exc:
+        if on_error != "record":
+            raise
+        result = error_result(algorithm, spec, exc)
     return result.to_dict()
 
 
@@ -122,13 +172,27 @@ class ExperimentEngine:
         this process, which is also what tests and debugging want.
     base_seed:
         Seed used to derive per-job seeds for specs that carry none.
+    on_error:
+        ``"raise"`` (the default) propagates a runner exception out of
+        :meth:`run` — the PR-1 behaviour.  ``"record"`` turns each failing
+        job into a deterministic :func:`error_result` record (``ok`` False,
+        ``extra["error"]`` set) while the rest of the suite completes; this
+        is what long-lived consumers such as the experiment service use, so
+        one poisoned spec cannot crash a whole batch.
     """
 
-    def __init__(self, jobs: int = 1, base_seed: int = 2015) -> None:
+    def __init__(
+        self, jobs: int = 1, base_seed: int = 2015, on_error: str = "raise"
+    ) -> None:
         if jobs < 1:
             raise AlgorithmError("the engine needs at least one worker")
+        if on_error not in ("raise", "record"):
+            raise AlgorithmError(
+                f"on_error must be 'raise' or 'record', got {on_error!r}"
+            )
         self.jobs = jobs
         self.base_seed = base_seed
+        self.on_error = on_error
 
     # ------------------------------------------------------------------ #
     # job construction helpers
@@ -146,7 +210,10 @@ class ExperimentEngine:
         assigned: Dict[GraphSpec, int] = {}
         seeded: List[ExperimentJob] = []
         for job in jobs:
-            get_runner(job.algorithm)  # fail fast on unknown names
+            if self.on_error == "raise":
+                get_runner(job.algorithm)  # fail fast on unknown names
+            # (with on_error="record" an unknown name becomes a per-job
+            # error record in the worker instead of aborting the suite)
             spec = job.spec
             graph = spec.graph if isinstance(spec, ExperimentSpec) else spec
             if graph.seed is None:
@@ -185,7 +252,8 @@ class ExperimentEngine:
         """Run every job and return results in job order."""
         job_list = self.seeded(list(jobs))
         payloads = [
-            (job.algorithm, job.spec.to_dict(), dict(job.options)) for job in job_list
+            (job.algorithm, job.spec.to_dict(), dict(job.options), self.on_error)
+            for job in job_list
         ]
         if self.jobs == 1 or len(payloads) <= 1:
             raw = [_execute_payload(payload) for payload in payloads]

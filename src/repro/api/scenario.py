@@ -450,6 +450,19 @@ class ExperimentSpec:
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def content_hash(self) -> str:
+        """The sha256 content address of this scenario's canonical JSON.
+
+        Because the engine guarantees that a run is a pure function of its
+        spec, this hash is a *result* key, not just a spec key: it is what
+        the experiment service's content-addressed store and the fuzz
+        corpus's reproducer ids are built on (both via
+        :mod:`repro.api.canonical`).
+        """
+        from .canonical import content_hash
+
+        return content_hash(self.to_dict())
+
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
         try:

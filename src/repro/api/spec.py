@@ -130,6 +130,16 @@ class GraphSpec:
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
+    def content_hash(self) -> str:
+        """The sha256 content address of this spec's canonical JSON.
+
+        Equal specs hash equally regardless of how they were constructed;
+        see :mod:`repro.api.canonical` for the pinned canonical form.
+        """
+        from .canonical import content_hash
+
+        return content_hash(self.to_dict())
+
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "GraphSpec":
         known = {"nodes", "density", "weight_model", "seed", "max_weight"}

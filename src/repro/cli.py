@@ -24,13 +24,20 @@ worker processes.
 * ``trace record`` / ``trace replay`` — save a workload run as a JSON trace
   and replay it bit-for-bit later;
 * ``bench`` — time the registered micro-benchmarks on the fast path *and*
-  the reference path, assert counter equality and write ``BENCH_PR6.json``;
+  the reference path, assert counter equality and write ``BENCH_PR7.json``;
   ``--baseline PATH`` additionally compares the speedups against a committed
   trajectory report and fails on a >25% regression;
 * ``fuzz run`` — a seeded differential-fuzzing campaign over random
   experiment specs (non-zero exit on any oracle violation; failing specs are
   delta-debugged to minimal reproducers and written to a JSON corpus);
   ``fuzz replay`` re-runs a corpus of reproducers, ``fuzz corpus`` lists one;
+* ``serve`` — the long-lived experiment service: an asyncio HTTP/JSON-lines
+  daemon with an async job queue, a supervised worker pool and a
+  content-addressed result store (repeat submissions are cache hits);
+* ``submit`` — send one spec to a running ``repro serve`` and print the
+  (byte-identical-to-local) result;
+* ``loadgen`` — record a spec trace and replay it against the service at
+  configurable concurrency, reporting cold-vs-warm throughput;
 * ``selfcheck`` — run a quick end-to-end correctness pass.
 
 ``--json`` (on ``run``, ``compare``, ``sweep`` and ``suite``) emits one
@@ -56,6 +63,10 @@ Examples
     python -m repro trace replay churn.trace.json
     python -m repro fuzz run --budget 200 --seed 0 --corpus fuzz-corpus.json
     python -m repro fuzz replay fuzz-corpus.json
+    python -m repro serve --port 8765 --workers 4 --store results/
+    python -m repro submit kkt-mst --nodes 64 --seed 7 --server 127.0.0.1:8765
+    python -m repro loadgen record --out mix.specs.jsonl --algorithms kkt-mst ghs --sizes 24 32
+    python -m repro loadgen run mix.specs.jsonl --server 127.0.0.1:8765 --concurrency 8
     python -m repro selfcheck
 """
 
@@ -257,7 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=2015)
     bench.add_argument("--json", action="store_true",
                        help="print the report JSON to stdout instead of a table")
-    bench.add_argument("--out", metavar="PATH", default="BENCH_PR6.json",
+    bench.add_argument("--out", metavar="PATH", default="BENCH_PR7.json",
                        help="where to write the JSON report "
                             "(default: %(default)s; '-' disables the file)")
     bench.add_argument("--baseline", metavar="PATH",
@@ -305,6 +316,101 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_corpus = fuzz_sub.add_parser("corpus", help="list a corpus file")
     fuzz_corpus.add_argument("path", metavar="CORPUS",
                              help="a corpus written by `fuzz run --corpus`")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived experiment service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 = ephemeral; the bound port is "
+                            "printed and written to --port-file)")
+    serve.add_argument("--port-file", metavar="PATH",
+                       help="write the bound port number to this file "
+                            "(how scripts find an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent job slots")
+    serve.add_argument("--executor", choices=["thread", "process", "inline"],
+                       default="thread",
+                       help="how jobs execute: thread (default), process "
+                            "(true parallelism), inline (tests/demos)")
+    serve.add_argument("--store", metavar="DIR",
+                       help="persist the content-addressed result store here "
+                            "(default: in-memory only)")
+    serve.add_argument("--seed", type=int, default=2015,
+                       help="base seed used to pin unseeded submitted specs")
+    serve.add_argument("--job-timeout", type=float, default=300.0,
+                       help="per-attempt job timeout in seconds")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="retry attempts after infrastructure failures")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one spec to a running `repro serve` daemon"
+    )
+    submit.add_argument("algorithm", help="a registered algorithm name")
+    add_graph_arguments(submit)
+    submit.add_argument("--updates", type=int, default=None,
+                        help="workload stream length")
+    submit.add_argument("--workload", choices=sorted(list_workloads()),
+                        help="submit the scenario under a registered workload")
+    submit.add_argument("--schedule", choices=sorted(list_schedulers()),
+                        help="deliver messages under an adversarial scheduler")
+    submit.add_argument("--fault", choices=sorted(list_faults()),
+                        help="run the scenario under a registered fault program")
+    submit.add_argument("--trace", metavar="PATH",
+                        help="trace file for the trace-replay workload")
+    submit.add_argument("--spec-file", metavar="PATH",
+                        help="submit this ExperimentSpec JSON file instead of "
+                             "building a spec from the graph flags")
+    submit.add_argument("--server", default="127.0.0.1:8765",
+                        help="service address as host:port or http:// URL")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="enqueue and print the job id instead of waiting")
+    submit.add_argument("--json", action="store_true",
+                        help="print the response entry as JSON")
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="record / replay service load (spec traces)"
+    )
+    loadgen_sub = loadgen.add_subparsers(dest="loadgen_command", required=True)
+    lg_record = loadgen_sub.add_parser(
+        "record", help="record a spec trace (one submit request per line)"
+    )
+    lg_record.add_argument("--out", metavar="PATH", required=True,
+                           help="where to write the JSON-lines spec trace")
+    lg_record.add_argument("--algorithms", nargs="+", metavar="algorithm",
+                           default=["kkt-mst"], help="algorithm mix")
+    lg_record.add_argument("--sizes", type=int, nargs="+", default=[24, 32])
+    lg_record.add_argument("--density", choices=_DENSITY_CHOICES, default="sparse")
+    lg_record.add_argument("--seed", type=int, default=2015)
+    lg_record.add_argument("--workloads", nargs="+", metavar="workload",
+                           choices=["none"] + sorted(list_workloads()),
+                           default=["none"],
+                           help="workload mix ('none' = construction only)")
+    lg_record.add_argument("--updates", type=int, default=None,
+                           help="workload stream length")
+    lg_record.add_argument("--trace", metavar="PATH",
+                           help="also include a trace-replay workload over "
+                                "this recorded UpdateTrace file")
+    lg_run = loadgen_sub.add_parser(
+        "run", help="replay a spec trace against the service at concurrency"
+    )
+    lg_run.add_argument("path", metavar="TRACE",
+                        help="a spec trace written by `loadgen record`")
+    lg_run.add_argument("--server", default=None,
+                        help="service address as host:port or http:// URL "
+                             "(default: start an in-process server)")
+    lg_run.add_argument("--concurrency", type=int, default=4,
+                        help="concurrent client threads")
+    lg_run.add_argument("--rounds", type=int, default=2,
+                        help="replay passes (round 0 is cold, later rounds "
+                             "are warm cache hits)")
+    lg_run.add_argument("--workers", type=int, default=2,
+                        help="in-process server job slots (no --server only)")
+    lg_run.add_argument("--executor", choices=["thread", "process", "inline"],
+                        default="thread",
+                        help="in-process server executor (no --server only)")
+    lg_run.add_argument("--json", action="store_true",
+                        help="print the throughput report as JSON")
 
     subparsers.add_parser("selfcheck", help="quick end-to-end correctness pass")
     return parser
@@ -919,6 +1025,217 @@ def _command_fuzz_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_server(address: str) -> tuple:
+    """``host:port`` or ``http://host:port`` -> ``(host, port)``."""
+    target = address
+    if "//" in target:
+        target = target.split("//", 1)[1]
+    target = target.rstrip("/")
+    host, _, port = target.rpartition(":")
+    if not host or not port.isdigit():
+        raise AlgorithmError(
+            f"malformed server address {address!r}; want host:port or an http:// URL"
+        )
+    return host, int(port)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ExperimentServer, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor=args.executor,
+        store_path=args.store,
+        base_seed=args.seed,
+        default_timeout_s=args.job_timeout,
+        max_retries=args.max_retries,
+    )
+
+    async def _serve() -> None:
+        server = ExperimentServer(config)
+        await server.start()
+        print(f"repro serve: listening on {server.url}", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(
+                    signum,
+                    lambda: loop.create_task(server.shutdown(drain=True)),
+                )
+        except (ImportError, NotImplementedError, RuntimeError, ValueError):
+            pass  # no signal support here (non-main thread, exotic platform)
+        await server.serve_forever()
+        print("repro serve: drained and stopped", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .service import ServiceClient
+
+    if args.spec_file:
+        try:
+            with open(args.spec_file, "r", encoding="utf-8") as handle:
+                spec_payload = json_module.load(handle)
+        except FileNotFoundError:
+            raise AlgorithmError(f"spec file not found: {args.spec_file}") from None
+        except json_module.JSONDecodeError as exc:
+            raise AlgorithmError(f"invalid spec file {args.spec_file}: {exc}") from exc
+        if not isinstance(spec_payload, dict):
+            raise AlgorithmError("a spec file must hold one JSON object")
+    else:
+        spec = _spec_from_args(args)
+        scenario = args.workload or args.schedule or (args.fault and args.fault != "none")
+        if scenario:
+            workload = (
+                _workload_from_args(args.workload, args.updates, args.trace)
+                if args.workload
+                else None
+            )
+            schedule = ScheduleSpec(scheduler=args.schedule) if args.schedule else None
+            fault = (
+                FaultSpec(name=args.fault)
+                if args.fault and args.fault != "none"
+                else None
+            )
+            spec = ExperimentSpec(
+                graph=spec, workload=workload, schedule=schedule, faults=fault
+            )
+        spec_payload = spec.to_dict()
+    host, port = _parse_server(args.server)
+    client = ServiceClient(host=host, port=port)
+    entry = client.submit_spec(
+        args.algorithm, spec_payload, wait=not args.no_wait
+    )
+    if args.json:
+        print(json_module.dumps(entry, indent=2, sort_keys=True))
+    else:
+        table = ExperimentTable(
+            "submit", f"{args.algorithm} via {host}:{port}", ["quantity", "value"]
+        )
+        table.add_row("key", entry["key"][:16])
+        table.add_row("state", entry["state"])
+        table.add_row("cache hit", entry["cached"])
+        if entry.get("job_id"):
+            table.add_row("job id", entry["job_id"])
+        result = entry.get("result")
+        if result:
+            table.add_row("messages", result["messages"])
+            table.add_row("rounds", result["rounds"])
+            table.add_row("ok", all(result["checks"].values()))
+        if entry.get("error"):
+            table.add_row("error", entry["error"])
+        print(table.render())
+    if args.no_wait:
+        return 0
+    result = entry.get("result")
+    return 0 if result and all(result["checks"].values()) else 1
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    if args.loadgen_command == "record":
+        return _command_loadgen_record(args)
+    return _command_loadgen_run(args)
+
+
+def _command_loadgen_record(args: argparse.Namespace) -> int:
+    from .service import record_spec_trace, spec_trace_requests
+
+    workloads = [None if name == "none" else name for name in args.workloads]
+    requests = spec_trace_requests(
+        algorithms=args.algorithms,
+        sizes=args.sizes,
+        density=args.density,
+        seed=args.seed,
+        workloads=workloads,
+        updates=args.updates,
+        trace=args.trace,
+    )
+    path = record_spec_trace(args.out, requests)
+    table = ExperimentTable(
+        "loadgen-record", f"Recorded spec trace -> {path}", ["quantity", "value"]
+    )
+    table.add_row("requests", len(requests))
+    table.add_row("algorithms", " ".join(args.algorithms))
+    table.add_row("sizes", " ".join(str(size) for size in args.sizes))
+    print(table.render())
+    return 0
+
+
+def _command_loadgen_run(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .service import (
+        InProcessServer,
+        ServiceClient,
+        ServiceConfig,
+        load_spec_trace,
+        run_load,
+    )
+
+    requests = load_spec_trace(args.path)
+    progress = None if args.json else (
+        lambda line: print(f"loadgen: {line}", flush=True)
+    )
+
+    def _run(client: ServiceClient) -> dict:
+        return run_load(
+            client,
+            requests,
+            concurrency=args.concurrency,
+            rounds=args.rounds,
+            progress=progress,
+        )
+
+    if args.server:
+        host, port = _parse_server(args.server)
+        report = _run(ServiceClient(host=host, port=port))
+    else:
+        config = ServiceConfig(workers=args.workers, executor=args.executor)
+        with InProcessServer(config) as inprocess:
+            report = _run(ServiceClient(port=inprocess.port))
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    else:
+        table = ExperimentTable(
+            "loadgen",
+            f"Load test: {len(requests)} requests x {args.rounds} rounds "
+            f"at concurrency {args.concurrency}",
+            ["round", "requests", "wall s", "rps", "cache hits", "errors"],
+        )
+        for round_report in report["rounds"]:
+            table.add_row(
+                round_report["round"],
+                round_report["requests"],
+                round_report["wall_s"],
+                round_report["rps"],
+                round_report["cache_hits"],
+                round_report["errors"],
+            )
+        if report["warm_vs_cold_speedup"] is not None:
+            table.add_note(
+                f"warm vs cold throughput: {report['warm_vs_cold_speedup']}x "
+                f"({report['cold_rps']} -> {report['warm_rps']} rps)"
+            )
+        print(table.render())
+    return 0 if report["errors"] == 0 else 1
+
+
 def _command_selfcheck(_args: argparse.Namespace) -> int:
     checks = (
         ("build-mst", "kkt-mst", {}),
@@ -951,6 +1268,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "suite": _command_suite,
         "sweep": _command_sweep,
         "trace": _command_trace,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "loadgen": _command_loadgen,
         "selfcheck": _command_selfcheck,
     }
     if args.command == "build-mst":

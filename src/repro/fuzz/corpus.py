@@ -34,13 +34,13 @@ reports whether the failure still reproduces.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..api import ExperimentSpec
+from ..api.canonical import short_hash
 from ..network.errors import AlgorithmError
 
 __all__ = ["CorpusEntry", "Corpus", "CORPUS_VERSION"]
@@ -49,12 +49,13 @@ CORPUS_VERSION = 1
 
 
 def entry_id(oracle: str, algorithm: Optional[str], minimized: Mapping[str, Any]) -> str:
-    """A stable 12-hex-digit id for a reproducer (dedup key)."""
-    payload = json.dumps(
-        {"oracle": oracle, "algorithm": algorithm, "minimized": minimized},
-        sort_keys=True,
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+    """A stable 12-hex-digit id for a reproducer (dedup key).
+
+    Built on the shared canonical-JSON content hash
+    (:mod:`repro.api.canonical`), so ids written by earlier releases stay
+    valid: the payload shape and rendering are unchanged.
+    """
+    return short_hash({"oracle": oracle, "algorithm": algorithm, "minimized": dict(minimized)})
 
 
 @dataclass(frozen=True)

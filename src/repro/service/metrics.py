@@ -1,0 +1,82 @@
+"""Service metrics: request counters and fixed-bucket latency histograms.
+
+Deliberately tiny and dependency-free: counters are plain dicts, the
+histogram uses fixed millisecond buckets (Prometheus-style cumulative
+``le`` semantics), and the whole registry renders to one JSON payload for
+``GET /metrics``.  The service's deterministic counters (cache hits, job
+outcomes, queue depth) live with their owners — the store, the pool, the
+queue — and are merged into the same payload by the server.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["LatencyHistogram", "Metrics"]
+
+#: Upper bucket bounds in milliseconds (the last bucket is +inf).
+DEFAULT_BUCKETS_MS = (1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with cumulative-``le`` rendering."""
+
+    def __init__(self, buckets_ms: Tuple[int, ...] = DEFAULT_BUCKETS_MS) -> None:
+        self.bounds = tuple(sorted(buckets_ms))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        self.counts[bisect.bisect_left(self.bounds, ms)] += 1
+        self.total += 1
+        self.sum_ms += ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        cumulative = 0
+        buckets: Dict[str, int] = {}
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            buckets[f"le_{bound}ms"] = cumulative
+        buckets["le_inf"] = self.total
+        return {
+            "count": self.total,
+            "sum_ms": round(self.sum_ms, 3),
+            "mean_ms": round(self.sum_ms / self.total, 3) if self.total else 0.0,
+            "buckets": buckets,
+        }
+
+
+class Metrics:
+    """Per-route request counters + latency histograms + uptime."""
+
+    def __init__(self) -> None:
+        self.started_unix = time.time()
+        self.requests: Dict[str, int] = {}
+        self.responses: Dict[str, int] = {}
+        self.latency: Dict[str, LatencyHistogram] = {}
+
+    def observe_request(self, route: str, status: int, seconds: float) -> None:
+        self.requests[route] = self.requests.get(route, 0) + 1
+        klass = f"{status // 100}xx"
+        self.responses[klass] = self.responses.get(klass, 0) + 1
+        self.latency.setdefault(route, LatencyHistogram()).observe(seconds)
+
+    @property
+    def uptime_s(self) -> float:
+        return round(time.time() - self.started_unix, 3)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "uptime_s": self.uptime_s,
+            "requests_total": sum(self.requests.values()),
+            "requests_by_route": dict(sorted(self.requests.items())),
+            "responses_by_class": dict(sorted(self.responses.items())),
+            "latency_by_route": {
+                route: histogram.to_dict()
+                for route, histogram in sorted(self.latency.items())
+            },
+        }

@@ -1,0 +1,220 @@
+"""The async job queue: priorities, timeouts, bounded retry, graceful drain.
+
+A :class:`Job` is one run request travelling through the service: it knows
+its request payload, its content address (the store key), its priority, and
+its full lifecycle as an ordered event log (``pending → running → done`` /
+``failed``, with ``retrying`` hops in between).  The event log is what the
+server's JSON-lines ``/stream`` endpoint replays and follows, so a client
+can watch a job move through the queue without polling.
+
+:class:`JobQueue` is a plain ``asyncio`` priority queue plus the job
+registry and the lifecycle bookkeeping the server needs:
+
+* **priorities** — lower ``priority`` runs first; FIFO within a priority
+  class (a monotone sequence number breaks ties, so equal-priority jobs
+  can never compare by ``Job``);
+* **graceful drain** — :meth:`close` rejects new submissions,
+  :meth:`drain` waits until every accepted job reaches a terminal state;
+  that pair is what ``POST /shutdown {"drain": true}`` runs, so shutdown
+  mid-queue loses nothing that was accepted;
+* **subscriptions** — :meth:`Job.subscribe` hands back an ``asyncio.Queue``
+  that receives every subsequent lifecycle event (and ``None`` after the
+  terminal one).
+
+The queue knows nothing about *how* jobs run — that is
+:class:`~repro.service.worker.WorkerPool` — so its tests drive the
+lifecycle directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..network.errors import AlgorithmError
+
+__all__ = ["Job", "JobQueue", "QueueClosed", "TERMINAL_STATES"]
+
+
+#: Job lifecycle states; the terminal ones release drain() waiters.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class QueueClosed(AlgorithmError):
+    """Raised on submit after :meth:`JobQueue.close` (the drain contract)."""
+
+
+@dataclass
+class Job:
+    """One run request and its lifecycle.
+
+    ``timeout_s`` bounds a single attempt; ``max_retries`` extra attempts
+    are made after infrastructure failures (timeouts, executor crashes),
+    sleeping ``backoff_s * 2**attempt`` between them.  Deterministic
+    algorithm errors are *not* retried — rerunning a pure function cannot
+    change its outcome (see :mod:`repro.service.worker`).
+    """
+
+    id: str
+    algorithm: str
+    spec: Dict[str, Any]
+    options: Dict[str, Any] = field(default_factory=dict)
+    key: str = ""
+    priority: int = 0
+    timeout_s: Optional[float] = None
+    max_retries: int = 0
+    backoff_s: float = 0.05
+    state: str = "pending"
+    attempts: int = 0
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    cached: bool = False
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._finished = asyncio.Event()
+        self._subscribers: List[asyncio.Queue] = []
+        self.created_unix = time.time()
+        self._record_event("pending")
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, state: str, **detail: Any) -> None:
+        """Move to ``state`` and publish the event to every subscriber."""
+        if self.finished:
+            raise AlgorithmError(
+                f"job {self.id} is already terminal ({self.state}); "
+                f"cannot transition to {state!r}"
+            )
+        self.state = state
+        self._record_event(state, **detail)
+        if self.finished:
+            self._finished.set()
+            for queue in self._subscribers:
+                queue.put_nowait(None)
+
+    def _record_event(self, state: str, **detail: Any) -> None:
+        event = {"job_id": self.id, "state": state, "unix": round(time.time(), 3)}
+        event.update(detail)
+        self.events.append(event)
+        for queue in getattr(self, "_subscribers", ()):
+            queue.put_nowait(event)
+
+    async def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until the job is terminal (or raise ``TimeoutError``)."""
+        await asyncio.wait_for(self._finished.wait(), timeout)
+
+    def subscribe(self) -> "asyncio.Queue[Optional[Dict[str, Any]]]":
+        """Past events replayed immediately, future ones as they happen.
+
+        The queue yields each lifecycle event dict and then ``None`` once
+        the job is terminal — exactly the shape the JSON-lines stream
+        endpoint writes.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self.events:
+            queue.put_nowait(event)
+        if self.finished:
+            queue.put_nowait(None)
+        else:
+            self._subscribers.append(queue)
+        return queue
+
+    def status(self) -> Dict[str, Any]:
+        """The ``/status`` payload: everything but the result body."""
+        return {
+            "job_id": self.id,
+            "key": self.key,
+            "algorithm": self.algorithm,
+            "state": self.state,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "error": self.error,
+            "events": list(self.events),
+        }
+
+
+class JobQueue:
+    """Priority queue + registry + drain bookkeeping for service jobs."""
+
+    def __init__(self, maxsize: int = 0) -> None:
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue(maxsize)
+        self._sequence = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._open = True
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.submitted = 0
+
+    # ------------------------------------------------------------------ #
+    # submission / consumption
+    # ------------------------------------------------------------------ #
+    @property
+    def open(self) -> bool:
+        return self._open
+
+    @property
+    def depth(self) -> int:
+        """Jobs accepted but not yet terminal (queued *and* running)."""
+        return sum(1 for job in self._jobs.values() if not job.finished)
+
+    def put(self, job: Job) -> None:
+        """Accept ``job``; raises :class:`QueueClosed` once draining."""
+        if not self._open:
+            raise QueueClosed("the service is draining; submissions are closed")
+        if job.id in self._jobs:
+            raise AlgorithmError(f"duplicate job id {job.id!r}")
+        self._jobs[job.id] = job
+        self._idle.clear()
+        self.submitted += 1
+        self._queue.put_nowait((job.priority, next(self._sequence), job))
+        job.transition("queued", depth=self.depth)
+
+    async def get(self) -> Job:
+        """The next job by (priority, arrival); blocks while empty."""
+        _, _, job = await self._queue.get()
+        return job
+
+    def job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise AlgorithmError(f"unknown job id {job_id!r}") from None
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    # ------------------------------------------------------------------ #
+    # drain / shutdown
+    # ------------------------------------------------------------------ #
+    def job_finished(self, job: Job) -> None:
+        """Worker callback: release drain waiters once all jobs are terminal."""
+        if all(existing.finished for existing in self._jobs.values()):
+            self._idle.set()
+
+    def close(self) -> None:
+        """Stop accepting new jobs (already-queued jobs keep running)."""
+        self._open = False
+        if all(job.finished for job in self._jobs.values()):
+            self._idle.set()
+
+    async def drain(self, timeout: Optional[float] = None) -> None:
+        """Close and wait until every accepted job reaches a terminal state."""
+        self.close()
+        await asyncio.wait_for(self._idle.wait(), timeout)
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs by state (for ``/healthz`` and ``/metrics``)."""
+        counts: Dict[str, int] = {}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts

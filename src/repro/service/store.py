@@ -1,0 +1,211 @@
+"""The content-addressed result store: run once, answer forever.
+
+The experiment engine guarantees that a run's outcome is a pure function of
+``(algorithm, spec, options)`` — parallel == serial, process == process,
+machine == machine (counters, not wall time).  The store turns that
+guarantee into a cache: results are addressed by the sha256 of the
+canonical JSON of the request (:func:`request_key`, built on
+:mod:`repro.api.canonical`), so resubmitting an identical request is
+answered without running anything, and two stores fed the same requests
+hold byte-identical records.
+
+Wall time is the one non-deterministic field of a
+:class:`~repro.api.result.RunResult`; :func:`canonical_result` pins it to
+``0.0`` inside the stored/served payload (the measured value is kept
+separately in the record's ``wall_time_s`` metadata).  That is what makes
+the acceptance contract testable: the canonical JSON served over HTTP for a
+spec is byte-identical to the canonical form of the same spec run through
+``repro run``.
+
+Persistence is optional: given a directory, every record is written as
+``<key>.json`` (canonical JSON, atomic rename) and read back lazily, so a
+restarted server keeps its warm cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Mapping, Optional
+
+from ..api.canonical import canonical_json, content_hash
+from ..network.errors import AlgorithmError
+
+__all__ = [
+    "ResultStore",
+    "canonical_result",
+    "canonical_result_json",
+    "request_key",
+]
+
+
+def request_key(
+    algorithm: str, spec: Mapping[str, Any], options: Optional[Mapping[str, Any]] = None
+) -> str:
+    """The content address of one run request.
+
+    ``spec`` is the request's spec *payload* (a ``to_dict()`` rendering —
+    the caller normalises seeds first, see
+    :func:`repro.service.server.normalize_request`); ``options`` are the
+    runner keyword options.  Equal requests hash equally regardless of dict
+    ordering.
+    """
+    return content_hash(
+        {"algorithm": algorithm, "spec": dict(spec), "options": dict(options or {})}
+    )
+
+
+def canonical_result(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """A result payload with its one non-deterministic field pinned.
+
+    ``wall_time_s`` is execution metadata, not part of the result: two runs
+    of the same spec agree on every counter and check but never on wall
+    time.  The canonical form zeroes it so stored, served and locally-run
+    results byte-compare.
+    """
+    canonical = dict(payload)
+    canonical["wall_time_s"] = 0.0
+    return canonical
+
+
+def canonical_result_json(payload: Mapping[str, Any]) -> str:
+    """The canonical JSON string of :func:`canonical_result` (byte-stable)."""
+    return canonical_json(canonical_result(payload))
+
+
+class ResultStore:
+    """An in-memory, optionally directory-backed content-addressed store.
+
+    Parameters
+    ----------
+    path:
+        ``None`` keeps records in memory only; a directory path additionally
+        persists each record as ``<key>.json`` and reads records back
+        lazily on :meth:`get`, so the cache survives restarts.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # record construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def make_record(
+        key: str,
+        algorithm: str,
+        spec: Mapping[str, Any],
+        result: Mapping[str, Any],
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """The stored shape: request provenance + canonical result payload.
+
+        The measured wall time moves to record-level metadata; the
+        ``result`` section is canonical (wall time zeroed) so identical
+        requests always store byte-identical result sections.
+        """
+        return {
+            "key": key,
+            "algorithm": algorithm,
+            "spec": dict(spec),
+            "options": dict(options or {}),
+            "result": canonical_result(result),
+            "wall_time_s": result.get("wall_time_s", 0.0),
+        }
+
+    # ------------------------------------------------------------------ #
+    # lookup / insert
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The record stored under ``key``, or ``None`` (counts hit/miss)."""
+        record = self._records.get(key)
+        if record is None and self.path is not None:
+            record = self._read(key)
+            if record is not None:
+                self._records[key] = record
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def contains(self, key: str) -> bool:
+        """Hit-count-neutral membership test."""
+        return key in self._records or (
+            self.path is not None and os.path.exists(self._file(key))
+        )
+
+    def put(self, record: Mapping[str, Any]) -> None:
+        """Insert a record built by :meth:`make_record` (idempotent)."""
+        if "key" not in record or "result" not in record:
+            raise AlgorithmError("a store record needs 'key' and 'result' fields")
+        key = record["key"]
+        payload = dict(record)
+        self._records[key] = payload
+        self.puts += 1
+        if self.path is not None:
+            self._write(key, payload)
+
+    def __len__(self) -> int:
+        if self.path is None:
+            return len(self._records)
+        on_disk = {
+            name[: -len(".json")]
+            for name in os.listdir(self.path)
+            if name.endswith(".json")
+        }
+        return len(on_disk | set(self._records))
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/size counters for ``/metrics``."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+            "persistent": self.path is not None,
+        }
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _file(self, key: str) -> str:
+        if not key or not all(ch in "0123456789abcdef" for ch in key):
+            raise AlgorithmError(f"malformed store key {key!r} (want lowercase hex)")
+        return os.path.join(self.path or "", f"{key}.json")
+
+    def _write(self, key: str, record: Dict[str, Any]) -> None:
+        target = self._file(key)
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(canonical_json(record) + "\n")
+            os.replace(tmp, target)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _read(self, key: str) -> Optional[Dict[str, Any]]:
+        target = self._file(key)
+        try:
+            with open(target, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as exc:
+            raise AlgorithmError(f"corrupt store record {target}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            raise AlgorithmError(
+                f"store record {target} does not match its content address"
+            )
+        return payload

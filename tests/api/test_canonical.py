@@ -1,0 +1,88 @@
+"""Golden-value tests for the shared canonical-JSON content hashing.
+
+The hash format is load-bearing in two places: fuzz corpus entry ids
+(PR 5) and the service's content-addressed result store (PR 7).  These
+tests pin exact digests so any accidental change to the canonical form
+(separators, key order, float formatting) fails loudly instead of
+silently orphaning every stored result and corpus entry.
+"""
+
+import json
+
+import pytest
+
+from repro.api import ExperimentSpec, GraphSpec, WorkloadSpec
+from repro.api.canonical import canonical_json, content_hash, short_hash
+
+
+class TestCanonicalJson:
+    def test_keys_are_sorted_recursively(self):
+        payload = {"b": 1, "a": [2, {"z": True, "y": None}]}
+        assert canonical_json(payload) == '{"a": [2, {"y": null, "z": true}], "b": 1}'
+
+    def test_matches_plain_sort_keys_dumps(self):
+        # The canonical form is exactly json.dumps(..., sort_keys=True) with
+        # default separators — the PR-5 fuzz corpus format, unchanged.
+        payload = {"nodes": 24, "density": "sparse", "seed": 7}
+        assert canonical_json(payload) == json.dumps(payload, sort_keys=True)
+
+    def test_equal_payloads_regardless_of_insertion_order(self):
+        forward = {"algorithm": "kkt-mst", "spec": {"nodes": 8, "seed": 1}}
+        backward = {"spec": {"seed": 1, "nodes": 8}, "algorithm": "kkt-mst"}
+        assert canonical_json(forward) == canonical_json(backward)
+        assert content_hash(forward) == content_hash(backward)
+
+    def test_non_serializable_payload_raises(self):
+        with pytest.raises(TypeError):
+            canonical_json({"bad": object()})
+
+
+class TestGoldenDigests:
+    """Exact digests; a failure here means the on-disk format changed."""
+
+    def test_content_hash_golden(self):
+        assert content_hash({"algorithm": "kkt-mst", "spec": {"nodes": 24}}) == (
+            "426ffe2c4263f9bcac7896667ae8701907e26c864284b90cc671227dc4f13c04"
+        )
+
+    def test_short_hash_is_a_content_hash_prefix(self):
+        payload = {"oracle": "mst", "algorithm": "kkt-mst", "minimized": {"nodes": 8}}
+        assert short_hash(payload) == "e632564f1f57"
+        assert content_hash(payload).startswith(short_hash(payload))
+        assert short_hash(payload, length=6) == "e63256"
+
+    def test_graph_spec_content_hash_golden(self):
+        spec = GraphSpec(nodes=24, density="sparse", seed=7)
+        assert spec.content_hash() == (
+            "3e5915f430cde4a4d1799cde74e6637c02d7807c494207a53780bf87cf00bc6f"
+        )
+
+    def test_experiment_spec_content_hash_golden(self):
+        scenario = ExperimentSpec(
+            graph=GraphSpec(nodes=24, density="sparse", seed=7),
+            workload=WorkloadSpec(name="churn", updates=4),
+        )
+        assert scenario.content_hash() == (
+            "d7ea8048bf6ac67ca550b3d23e58de1c3390f9834608ddb9977ec15caa3d08a1"
+        )
+
+    def test_spec_hash_is_hash_of_to_dict(self):
+        spec = GraphSpec(nodes=16, density="dense", seed=3)
+        assert spec.content_hash() == content_hash(spec.to_dict())
+
+
+class TestFuzzCorpusCompatibility:
+    def test_entry_id_still_the_pr5_format(self):
+        # entry_id predates the shared helper; refactoring it onto
+        # canonical.short_hash must not move a single corpus entry.
+        from repro.fuzz.corpus import entry_id
+
+        minimized = {"nodes": 8, "density": "sparse", "seed": 1}
+        expected = json.dumps(
+            {"oracle": "mst", "algorithm": "kkt-mst", "minimized": minimized},
+            sort_keys=True,
+        )
+        import hashlib
+
+        digest = hashlib.sha256(expected.encode("utf-8")).hexdigest()[:12]
+        assert entry_id("mst", "kkt-mst", minimized) == digest

@@ -26,6 +26,7 @@ class TestRegistry:
             "bench_findany",
             "bench_findmin",
             "bench_repair",
+            "bench_service_throughput",
             "bench_testout",
         ]
 
@@ -128,7 +129,7 @@ class TestBenchCli:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench", "--quick"])
         assert args.quick is True
-        assert args.out == "BENCH_PR6.json"
+        assert args.out == "BENCH_PR7.json"
         assert args.benchmarks is None
         assert args.baseline is None
 

@@ -1,0 +1,42 @@
+"""Tests for the latency histograms and the metrics registry."""
+
+from repro.service.metrics import DEFAULT_BUCKETS_MS, LatencyHistogram, Metrics
+
+
+class TestLatencyHistogram:
+    def test_cumulative_le_buckets(self):
+        histogram = LatencyHistogram(buckets_ms=(10, 100, 1000))
+        for seconds in (0.001, 0.005, 0.05, 0.5, 5.0):
+            histogram.observe(seconds)
+        payload = histogram.to_dict()
+        assert payload["count"] == 5
+        assert payload["buckets"] == {
+            "le_10ms": 2, "le_100ms": 3, "le_1000ms": 4, "le_inf": 5,
+        }
+        assert payload["sum_ms"] == 5556.0
+        assert payload["mean_ms"] == round(5556.0 / 5, 3)
+
+    def test_boundary_lands_in_its_bucket(self):
+        histogram = LatencyHistogram(buckets_ms=(10,))
+        histogram.observe(0.010)  # exactly 10ms counts as <= 10ms
+        assert histogram.to_dict()["buckets"]["le_10ms"] == 1
+
+    def test_empty_histogram(self):
+        payload = LatencyHistogram().to_dict()
+        assert payload["count"] == 0 and payload["mean_ms"] == 0.0
+        assert payload["buckets"]["le_inf"] == 0
+        assert len(payload["buckets"]) == len(DEFAULT_BUCKETS_MS) + 1
+
+
+class TestMetrics:
+    def test_per_route_counters_and_classes(self):
+        metrics = Metrics()
+        metrics.observe_request("/submit", 200, 0.01)
+        metrics.observe_request("/submit", 400, 0.002)
+        metrics.observe_request("/healthz", 200, 0.001)
+        payload = metrics.to_dict()
+        assert payload["requests_total"] == 3
+        assert payload["requests_by_route"] == {"/healthz": 1, "/submit": 2}
+        assert payload["responses_by_class"] == {"2xx": 2, "4xx": 1}
+        assert payload["latency_by_route"]["/submit"]["count"] == 2
+        assert payload["uptime_s"] >= 0.0

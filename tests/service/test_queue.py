@@ -1,0 +1,169 @@
+"""Tests for the async job queue: priorities, lifecycle, drain.
+
+The queue knows nothing about execution, so these tests drive job
+lifecycles by hand inside small ``asyncio.run`` harnesses (the suite does
+not depend on an asyncio pytest plugin).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.network.errors import AlgorithmError
+from repro.service.queue import TERMINAL_STATES, Job, JobQueue, QueueClosed
+
+
+def _job(job_id, priority=0, **fields):
+    return Job(
+        id=job_id, algorithm="kkt-mst", spec={"nodes": 8}, priority=priority, **fields
+    )
+
+
+class TestJobLifecycle:
+    def test_initial_state_and_event(self):
+        async def case():
+            job = _job("j1")
+            assert job.state == "pending" and not job.finished
+            assert [event["state"] for event in job.events] == ["pending"]
+
+        asyncio.run(case())
+
+    def test_transitions_append_events(self):
+        async def case():
+            job = _job("j1")
+            job.transition("queued", depth=1)
+            job.transition("running", attempt=1)
+            job.transition("done")
+            assert job.finished
+            assert [event["state"] for event in job.events] == [
+                "pending", "queued", "running", "done",
+            ]
+            assert job.events[1]["depth"] == 1
+
+        asyncio.run(case())
+
+    def test_terminal_states_are_final(self):
+        async def case():
+            job = _job("j1")
+            job.transition("failed", error="boom")
+            for state in ("running", *TERMINAL_STATES):
+                with pytest.raises(AlgorithmError, match="already terminal"):
+                    job.transition(state)
+
+        asyncio.run(case())
+
+    def test_wait_blocks_until_terminal(self):
+        async def case():
+            job = _job("j1")
+            with pytest.raises(asyncio.TimeoutError):
+                await job.wait(timeout=0.01)
+            job.transition("done")
+            await job.wait(timeout=1)
+
+        asyncio.run(case())
+
+    def test_subscribe_replays_then_follows_then_ends(self):
+        async def case():
+            job = _job("j1")
+            job.transition("queued")
+            subscription = job.subscribe()  # late subscriber: history replays
+            job.transition("running")
+            job.transition("done")
+            states = []
+            while True:
+                event = await subscription.get()
+                if event is None:
+                    break
+                states.append(event["state"])
+            assert states == ["pending", "queued", "running", "done"]
+
+        asyncio.run(case())
+
+    def test_subscribe_after_terminal_still_ends(self):
+        async def case():
+            job = _job("j1")
+            job.transition("done")
+            subscription = job.subscribe()
+            seen = [await subscription.get() for _ in range(3)]
+            assert [e["state"] for e in seen[:2]] == ["pending", "done"]
+            assert seen[2] is None
+
+        asyncio.run(case())
+
+
+class TestJobQueue:
+    def test_priority_order_fifo_within_class(self):
+        async def case():
+            queue = JobQueue()
+            for job in (
+                _job("low-a", priority=5),
+                _job("high", priority=0),
+                _job("low-b", priority=5),
+                _job("mid", priority=2),
+            ):
+                queue.put(job)
+            order = [(await queue.get()).id for _ in range(4)]
+            assert order == ["high", "mid", "low-a", "low-b"]
+
+        asyncio.run(case())
+
+    def test_put_transitions_to_queued_and_counts(self):
+        async def case():
+            queue = JobQueue()
+            job = _job("j1")
+            queue.put(job)
+            assert job.state == "queued"
+            assert queue.depth == 1 and queue.submitted == 1
+            assert queue.counts() == {"queued": 1}
+
+        asyncio.run(case())
+
+    def test_duplicate_id_rejected(self):
+        async def case():
+            queue = JobQueue()
+            queue.put(_job("j1"))
+            with pytest.raises(AlgorithmError, match="duplicate job id"):
+                queue.put(_job("j1"))
+
+        asyncio.run(case())
+
+    def test_closed_queue_rejects_submissions(self):
+        async def case():
+            queue = JobQueue()
+            queue.close()
+            assert not queue.open
+            with pytest.raises(QueueClosed, match="draining"):
+                queue.put(_job("j1"))
+
+        asyncio.run(case())
+
+    def test_drain_waits_for_accepted_jobs(self):
+        async def case():
+            queue = JobQueue()
+            job = _job("j1")
+            queue.put(job)
+
+            async def finish_later():
+                await asyncio.sleep(0.02)
+                job.transition("done")
+                queue.job_finished(job)
+
+            task = asyncio.get_running_loop().create_task(finish_later())
+            await asyncio.wait_for(queue.drain(timeout=1), timeout=2)
+            await task
+            assert not queue.open and queue.depth == 0
+
+        asyncio.run(case())
+
+    def test_drain_of_empty_queue_is_immediate(self):
+        async def case():
+            await asyncio.wait_for(JobQueue().drain(), timeout=1)
+
+        asyncio.run(case())
+
+    def test_unknown_job_id(self):
+        async def case():
+            with pytest.raises(AlgorithmError, match="unknown job id"):
+                JobQueue().job("nope")
+
+        asyncio.run(case())

@@ -1,0 +1,142 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.api import GraphSpec, run
+from repro.api.canonical import canonical_json
+from repro.network.errors import AlgorithmError
+from repro.service.store import (
+    ResultStore,
+    canonical_result,
+    canonical_result_json,
+    request_key,
+)
+
+
+SPEC = {"nodes": 24, "density": "sparse", "seed": 7}
+
+
+class TestRequestKey:
+    def test_order_independent(self):
+        forward = request_key("kkt-mst", SPEC, {"c": 1.0})
+        backward = request_key(
+            "kkt-mst", {"seed": 7, "density": "sparse", "nodes": 24}, {"c": 1.0}
+        )
+        assert forward == backward
+
+    def test_golden_value(self):
+        # Pinned: changing this orphans every persisted store on disk.  The
+        # key hashes the spec's to_dict() rendering (what the server's
+        # normalisation produces), not a hand-written subset.
+        assert request_key("kkt-mst", GraphSpec(**SPEC).to_dict(), {}) == (
+            "19c6d1c0e20b03f04617fe0a0825d5c618bbfeb0c91ff1727c5415ae91cf9775"
+        )
+
+    def test_options_default_to_empty(self):
+        assert request_key("kkt-mst", SPEC) == request_key("kkt-mst", SPEC, {})
+
+    def test_distinct_requests_distinct_keys(self):
+        assert request_key("kkt-mst", SPEC) != request_key("ghs", SPEC)
+        assert request_key("kkt-mst", SPEC) != request_key(
+            "kkt-mst", SPEC, {"c": 2.0}
+        )
+
+
+class TestCanonicalResult:
+    def test_pins_wall_time(self):
+        result = run("kkt-mst", GraphSpec(**SPEC)).to_dict()
+        pinned = canonical_result(result)
+        assert pinned["wall_time_s"] == 0.0
+        unchanged = {k: v for k, v in pinned.items() if k != "wall_time_s"}
+        assert unchanged == {k: v for k, v in result.items() if k != "wall_time_s"}
+
+    def test_two_runs_byte_identical(self):
+        # The determinism the whole store is built on: same spec, same
+        # canonical bytes — only wall time ever differed.
+        first = run("kkt-mst", GraphSpec(**SPEC)).to_dict()
+        second = run("kkt-mst", GraphSpec(**SPEC)).to_dict()
+        assert canonical_result_json(first) == canonical_result_json(second)
+
+
+class TestResultStore:
+    def _record(self, store, key="ab12", wall=1.5):
+        result = {"algorithm": "kkt-mst", "messages": 10, "wall_time_s": wall}
+        return store.make_record(key, "kkt-mst", SPEC, result, {})
+
+    def test_make_record_moves_wall_time_to_metadata(self):
+        record = self._record(ResultStore(), wall=2.5)
+        assert record["wall_time_s"] == 2.5
+        assert record["result"]["wall_time_s"] == 0.0
+
+    def test_memory_round_trip_and_counters(self):
+        store = ResultStore()
+        key = request_key("kkt-mst", SPEC)
+        assert store.get(key) is None
+        assert store.misses == 1 and store.hits == 0
+        store.put(self._record(store, key=key))
+        assert store.get(key)["result"]["messages"] == 10
+        assert store.hits == 1 and store.puts == 1
+        assert len(store) == 1
+
+    def test_contains_is_hit_neutral(self):
+        store = ResultStore()
+        store.put(self._record(store, key="ab12"))
+        assert store.contains("ab12") and not store.contains("cd34")
+        assert store.hits == 0 and store.misses == 0
+
+    def test_put_requires_key_and_result(self):
+        with pytest.raises(AlgorithmError, match="'key' and 'result'"):
+            ResultStore().put({"key": "ab12"})
+
+    def test_stats_hit_rate(self):
+        store = ResultStore()
+        store.put(self._record(store, key="ab12"))
+        store.get("ab12")
+        store.get("ab12")
+        store.get("ffff")
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["hit_rate"] == round(2 / 3, 4)
+        assert stats["persistent"] is False
+
+
+class TestPersistence:
+    def test_record_survives_a_restart(self, tmp_path):
+        first = ResultStore(str(tmp_path))
+        record = first.make_record(
+            "ab12", "kkt-mst", SPEC, {"messages": 10, "wall_time_s": 1.0}, {}
+        )
+        first.put(record)
+        # A fresh store over the same directory serves the record lazily.
+        second = ResultStore(str(tmp_path))
+        assert len(second) == 1
+        read = second.get("ab12")
+        assert read == record and second.hits == 1
+
+    def test_on_disk_form_is_canonical_json(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        record = store.make_record(
+            "ab12", "kkt-mst", SPEC, {"messages": 10, "wall_time_s": 1.0}, {}
+        )
+        store.put(record)
+        raw = (tmp_path / "ab12.json").read_text()
+        assert raw == canonical_json(record) + "\n"
+        assert json.loads(raw)["result"]["wall_time_s"] == 0.0
+
+    def test_corrupt_record_raises(self, tmp_path):
+        (tmp_path / "ab12.json").write_text("{not json")
+        with pytest.raises(AlgorithmError, match="corrupt"):
+            ResultStore(str(tmp_path)).get("ab12")
+
+    def test_key_mismatch_raises(self, tmp_path):
+        (tmp_path / "ab12.json").write_text('{"key": "cd34", "result": {}}')
+        with pytest.raises(AlgorithmError, match="content address"):
+            ResultStore(str(tmp_path)).get("ab12")
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(AlgorithmError, match="malformed store key"):
+            store.get("../../etc/passwd")
