@@ -3,15 +3,27 @@
 ``repro bench`` runs each registered micro-benchmark twice — once with the
 reference implementations (:func:`repro.fastpath.reference_path`, i.e. the
 pre-fast-path code) and once with the fast path (cached tree structures,
-one-pass sketch kernels) — records the wall-clock of both, **asserts that
-every observable counter (messages, bits, rounds, broadcast-and-echoes,
-phases) is bit-identical**, and emits a machine-readable JSON record
-(``BENCH_PR4.json`` by default) so the repository accumulates a perf
-trajectory across PRs.  :func:`compare_to_baseline` turns two such reports
-into per-benchmark speedup deltas (``repro bench --baseline BENCH_PR3.json``
-prints them and exits non-zero on a >25% regression); speedups — the
-reference/fast wall-clock *ratio* — are compared rather than raw wall
-seconds, so the gate is meaningful across machines of different speeds.
+one-pass sketch kernels, batched columnar passes) — records the wall-clock
+of both, **asserts that every observable counter (messages, bits, rounds,
+broadcast-and-echoes, phases) is bit-identical**, and emits a
+machine-readable JSON record (``BENCH_PR9.json`` by default) so the
+repository accumulates a perf trajectory across PRs.
+:func:`compare_to_baseline` turns two such reports into per-benchmark
+speedup deltas (``repro bench --baseline BENCH_PR7.json`` prints them and
+exits non-zero on a >25% regression); speedups — the reference/fast
+wall-clock *ratio* — are compared rather than raw wall seconds, so the gate
+is meaningful across machines of different speeds.
+
+``--profile large`` appends each benchmark's large-n scaling sizes
+(currently ``bench_sketch_pass`` at n=10^4 / 10^5 and a sparse n=10^6
+smoke).  Above a benchmark's ``reference_cutoff`` the reference pass would
+take hours, so only the fast path runs and the record carries
+``wall_s_reference = speedup = null`` — the counters of such rows are
+unchecked by construction, which is why every cutoff sits *above* at least
+one size where both paths still run and are compared.  ``--mem``
+additionally records the ``tracemalloc`` peak of each pass (tracing is
+symmetric on both paths, so the speedup ratio stays fair; expect ~2x wall
+overhead).
 
 Each benchmark builds its scenario from a :class:`~repro.api.spec.GraphSpec`
 with a fixed seed; only the algorithm under measurement is inside the timed
@@ -39,18 +51,26 @@ Registered benchmarks
     content-addressed store).  Counter equality asserts the served results
     are identical to the computed ones; the speedup is the measured value
     of result caching.
+``bench_sketch_pass``
+    One whole-graph sketch volley (statistics + TestOut + HP-TestOut +
+    FindAny) on a sparse broken spanning tree — the workload the columnar
+    batched kernels target.  Its ``--profile large`` sizes scale it to
+    n=10^6.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import math
 import platform
 import time
+import tracemalloc
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import fastpath
+from .accel import HAVE_NUMPY
 from .api.scenario import WorkloadSpec
 from .api.spec import GraphSpec
 from .core.build_mst import BuildMST
@@ -80,7 +100,10 @@ __all__ = [
 ]
 
 #: Schema tag written into every report, bumped on breaking format changes.
-SCHEMA = "repro-bench/1"
+#: v2: nullable ``wall_s_reference`` / ``speedup`` on rows above a
+#: benchmark's ``reference_cutoff``, optional ``peak_kb_*`` memory fields,
+#: top-level ``profile`` / ``mem`` / ``numpy`` provenance.
+SCHEMA = "repro-bench/2"
 
 Counters = Dict[str, int]
 #: A benchmark body: (n, density, seed) -> (counters, num_edges).
@@ -94,11 +117,21 @@ class _Benchmark:
     sizes: Tuple[int, ...]
     quick_sizes: Tuple[int, ...]
     summary: str
+    #: Extra sizes appended by ``--profile large`` (and their --quick subset).
+    large_sizes: Tuple[int, ...] = ()
+    large_quick_sizes: Tuple[int, ...] = ()
+    #: Above this n only the fast path runs (None = always run both).
+    reference_cutoff: Optional[int] = None
 
 
 @dataclass
 class BenchRecord:
-    """One benchmark size, measured on both paths."""
+    """One benchmark size, measured on both paths.
+
+    Rows above the benchmark's ``reference_cutoff`` are fast-path-only:
+    ``wall_s_reference`` and ``speedup`` are ``None`` and
+    ``counters_equal`` is vacuously true (there is nothing to compare).
+    """
 
     benchmark: str
     n: int
@@ -106,16 +139,21 @@ class BenchRecord:
     density: str
     seed: int
     counters: Counters
-    wall_s_reference: float
+    wall_s_reference: Optional[float]
     wall_s_fast: float
-    speedup: float
+    speedup: Optional[float]
     counters_equal: bool
     reference_counters: Optional[Counters] = None  # only kept on divergence
+    peak_kb_fast: Optional[int] = None  # tracemalloc peaks, --mem only
+    peak_kb_reference: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
         if self.counters_equal:
             payload.pop("reference_counters")
+        if self.peak_kb_fast is None:
+            payload.pop("peak_kb_fast")
+            payload.pop("peak_kb_reference")
         return payload
 
 
@@ -128,6 +166,9 @@ def _register(
     sizes: Sequence[int],
     quick_sizes: Sequence[int],
     summary: str,
+    large_sizes: Sequence[int] = (),
+    large_quick_sizes: Sequence[int] = (),
+    reference_cutoff: Optional[int] = None,
 ) -> Callable[[BenchFn], BenchFn]:
     def decorator(fn: BenchFn) -> BenchFn:
         BENCHMARKS[name] = _Benchmark(
@@ -136,6 +177,9 @@ def _register(
             sizes=tuple(sizes),
             quick_sizes=tuple(quick_sizes),
             summary=summary,
+            large_sizes=tuple(large_sizes),
+            large_quick_sizes=tuple(large_quick_sizes),
+            reference_cutoff=reference_cutoff,
         )
         return fn
 
@@ -343,6 +387,39 @@ def _bench_broadcast_byzantine_sparse(
     return _bench_broadcast_byzantine_body(n, density, seed)
 
 
+@_register(
+    "bench_sketch_pass",
+    density="sparse",
+    sizes=(1024, 4096),
+    quick_sizes=(1024,),
+    large_sizes=(10_000, 100_000, 1_000_000),
+    large_quick_sizes=(10_000,),
+    reference_cutoff=10_000,
+    summary="Whole-graph sketch volley: stats + TestOut + HP-TestOut + FindAny",
+)
+def _bench_sketch_pass(n: int, density: str, seed: int) -> Tuple[Counters, int]:
+    """The columnar-kernel workload: one volley of every batched sketch.
+
+    Each call in the volley runs whole-graph on the fast path (one columnar
+    pass computes the words of every node) and per-node on the reference
+    path, so this benchmark is the direct measure of the batched tier.  The
+    n=10^5 / 10^6 rows only exist under ``--profile large`` and run
+    fast-path-only (``reference_cutoff``): at those sizes the reference
+    per-node Python loops take hours, while equality is already pinned at
+    every size up to 10^4.
+    """
+    graph, forest, root = _broken_tree(n, density, seed)
+    accountant = MessageAccountant()
+    tester = CutTester(graph, forest, AlgorithmConfig(n=n, seed=seed), accountant)
+    tester.tree_statistics(root)
+    for _ in range(2):
+        tester.test_out(root)
+    tester.hp_test_out(root)
+    finder = FindAny(graph, forest, AlgorithmConfig(n=n, seed=seed + 1), accountant)
+    finder.find_any(root)
+    return _accountant_counters(accountant), graph.num_edges
+
+
 #: Store directories handed from a service benchmark's reference (cold) pass
 #: to its fast (warm) pass, keyed by (n, density, seed).  ``run_benchmark``
 #: calls the body exactly twice, reference first, so pop-or-create maps the
@@ -413,8 +490,33 @@ def _bench_service_throughput(n: int, density: str, seed: int) -> Tuple[Counters
 # ---------------------------------------------------------------------- #
 # driver
 # ---------------------------------------------------------------------- #
-def run_benchmark(name: str, n: int, seed: int = 2015) -> BenchRecord:
-    """Run one benchmark size on both paths and compare."""
+def _timed_pass(bench: _Benchmark, n: int, seed: int, mem: bool):
+    """One body call: (counters, m, wall_s, peak_kb-or-None)."""
+    # Collect before timing: garbage left by earlier benchmarks (the service
+    # suite in particular) slows the allocation-heavy reference pass by 2-3x,
+    # which would make a row's speedup depend on suite position and break
+    # comparisons against isolated reruns (the bench-large-smoke CI job).
+    gc.collect()
+    if mem:
+        tracemalloc.start()
+    start = time.perf_counter()
+    counters, m = bench.fn(n, bench.density, seed)
+    wall = time.perf_counter() - start
+    peak_kb = None
+    if mem:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_kb = peak // 1024
+    return counters, m, wall, peak_kb
+
+
+def run_benchmark(name: str, n: int, seed: int = 2015, mem: bool = False) -> BenchRecord:
+    """Run one benchmark size on both paths and compare.
+
+    Above the benchmark's ``reference_cutoff`` only the fast path runs;
+    ``mem`` traces both passes with :mod:`tracemalloc` (symmetric, so the
+    speedup ratio is unaffected by the tracing overhead).
+    """
     try:
         bench = BENCHMARKS[name]
     except KeyError:
@@ -423,16 +525,19 @@ def run_benchmark(name: str, n: int, seed: int = 2015) -> BenchRecord:
             f"unknown benchmark {name!r}; registered benchmarks: {known}"
         ) from None
 
-    with fastpath.reference_path():
-        start = time.perf_counter()
-        reference_counters, _ = bench.fn(n, bench.density, seed)
-        wall_reference = time.perf_counter() - start
+    run_reference = bench.reference_cutoff is None or n <= bench.reference_cutoff
+    reference_counters: Optional[Counters] = None
+    wall_reference: Optional[float] = None
+    peak_reference: Optional[int] = None
+    if run_reference:
+        with fastpath.reference_path():
+            reference_counters, _, wall_reference, peak_reference = _timed_pass(
+                bench, n, seed, mem
+            )
     with fastpath.fast_path():
-        start = time.perf_counter()
-        fast_counters, m = bench.fn(n, bench.density, seed)
-        wall_fast = time.perf_counter() - start
+        fast_counters, m, wall_fast, peak_fast = _timed_pass(bench, n, seed, mem)
 
-    equal = fast_counters == reference_counters
+    equal = (not run_reference) or fast_counters == reference_counters
     return BenchRecord(
         benchmark=name,
         n=n,
@@ -440,11 +545,15 @@ def run_benchmark(name: str, n: int, seed: int = 2015) -> BenchRecord:
         density=bench.density,
         seed=seed,
         counters=fast_counters,
-        wall_s_reference=round(wall_reference, 4),
+        wall_s_reference=None if wall_reference is None else round(wall_reference, 4),
         wall_s_fast=round(wall_fast, 4),
-        speedup=round(wall_reference / max(wall_fast, 1e-9), 2),
+        speedup=None
+        if wall_reference is None
+        else round(wall_reference / max(wall_fast, 1e-9), 2),
         counters_equal=equal,
         reference_counters=None if equal else reference_counters,
+        peak_kb_fast=peak_fast,
+        peak_kb_reference=peak_reference,
     )
 
 
@@ -454,15 +563,23 @@ def run_benchmarks(
     sizes: Optional[Sequence[int]] = None,
     seed: int = 2015,
     progress: Optional[Callable[[str], None]] = None,
+    profile: str = "default",
+    mem: bool = False,
 ) -> Dict[str, Any]:
     """Run the selected benchmarks; returns the JSON-ready report dict.
 
     ``sizes`` overrides every benchmark's size list (used by tests and for
     quick local iteration); otherwise ``quick`` selects the smaller
-    per-benchmark size lists.
+    per-benchmark size lists and ``profile="large"`` appends each
+    benchmark's large-n scaling sizes.  ``mem`` records tracemalloc peaks.
     """
+    if profile not in ("default", "large"):
+        raise AlgorithmError(
+            f"unknown bench profile {profile!r}; choose 'default' or 'large'"
+        )
     selected = list(names) if names else list_benchmarks()
     records: List[BenchRecord] = []
+    warmed = False
     for name in selected:
         if name not in BENCHMARKS:
             known = ", ".join(list_benchmarks())
@@ -470,18 +587,34 @@ def run_benchmarks(
                 f"unknown benchmark {name!r}; registered benchmarks: {known}"
             )
         bench = BENCHMARKS[name]
-        bench_sizes = tuple(sizes) if sizes else (
-            bench.quick_sizes if quick else bench.sizes
-        )
+        if sizes:
+            bench_sizes = tuple(sizes)
+        else:
+            bench_sizes = bench.quick_sizes if quick else bench.sizes
+            if profile == "large":
+                bench_sizes += (
+                    bench.large_quick_sizes if quick else bench.large_sizes
+                )
+        if not warmed and bench_sizes and bench_sizes[0] <= 4096:
+            # One untimed run of the first (small) row: the process's first
+            # pass otherwise absorbs allocator/import warmup into whichever
+            # benchmark happens to run first — a 3 ms row can read 8x slow,
+            # which poisons that row's speedup in the committed trajectory.
+            with fastpath.fast_path():
+                bench.fn(bench_sizes[0], bench.density, seed)
+            warmed = True
         for n in bench_sizes:
             if progress is not None:
                 progress(f"{name} n={n} ({bench.density}) ...")
-            records.append(run_benchmark(name, n, seed=seed))
+            records.append(run_benchmark(name, n, seed=seed, mem=mem))
     return {
         "schema": SCHEMA,
         "created_unix": round(time.time(), 1),
         "python": platform.python_version(),
         "quick": quick,
+        "profile": profile,
+        "mem": mem,
+        "numpy": HAVE_NUMPY,
         "seed": seed,
         "counters_equal": all(record.counters_equal for record in records),
         "results": [record.to_dict() for record in records],
@@ -563,8 +696,22 @@ def compare_to_baseline(
             missing.append(label)
             continue
         compared.add(key)
-        base_speedup = base["speedup"]
-        speedup = record["speedup"]
+        base_speedup = base.get("speedup")
+        speedup = record.get("speedup")
+        if base_speedup is None or speedup is None:
+            # A fast-path-only row (above the reference cutoff) on either
+            # side: nothing to gate, but keep the row visible.
+            rows.append(
+                {
+                    "benchmark": key[0],
+                    "n": key[1],
+                    "baseline_speedup": base_speedup,
+                    "current_speedup": speedup,
+                    "delta_pct": None,
+                    "regressed": False,
+                }
+            )
+            continue
         delta_pct = 100.0 * (speedup / base_speedup - 1.0) if base_speedup else 0.0
         regressed = bool(base_speedup) and speedup < row_floor * base_speedup
         if base_speedup and speedup:

@@ -24,9 +24,11 @@ worker processes.
 * ``trace record`` / ``trace replay`` — save a workload run as a JSON trace
   and replay it bit-for-bit later;
 * ``bench`` — time the registered micro-benchmarks on the fast path *and*
-  the reference path, assert counter equality and write ``BENCH_PR7.json``;
+  the reference path, assert counter equality and write ``BENCH_PR9.json``;
   ``--baseline PATH`` additionally compares the speedups against a committed
-  trajectory report and fails on a >25% regression;
+  trajectory report and fails on a >25% regression; ``--profile large``
+  appends the n=10^4..10^6 scaling rows, ``--mem`` records tracemalloc
+  peaks;
 * ``fuzz run`` — a seeded differential-fuzzing campaign over random
   experiment specs (non-zero exit on any oracle violation; failing specs are
   delta-debugged to minimal reproducers and written to a JSON corpus);
@@ -265,10 +267,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="subset of benchmarks to run (default: all)")
     bench.add_argument("--sizes", type=int, nargs="+",
                        help="override every benchmark's node counts")
+    bench.add_argument("--profile", choices=["default", "large"],
+                       default="default",
+                       help="size profile: 'large' appends the n=10^4..10^6 "
+                            "scaling rows (fast-path-only above each "
+                            "benchmark's reference cutoff)")
+    bench.add_argument("--mem", action="store_true",
+                       help="record the tracemalloc peak of every pass "
+                            "(symmetric on both paths; ~2x wall overhead)")
     bench.add_argument("--seed", type=int, default=2015)
     bench.add_argument("--json", action="store_true",
                        help="print the report JSON to stdout instead of a table")
-    bench.add_argument("--out", metavar="PATH", default="BENCH_PR7.json",
+    bench.add_argument("--out", metavar="PATH", default="BENCH_PR9.json",
                        help="where to write the JSON report "
                             "(default: %(default)s; '-' disables the file)")
     bench.add_argument("--baseline", metavar="PATH",
@@ -826,27 +836,41 @@ def _command_bench(args: argparse.Namespace) -> int:
         sizes=args.sizes,
         seed=args.seed,
         progress=progress,
+        profile=args.profile,
+        mem=args.mem,
     )
     if args.out and args.out != "-":
         write_report(report, args.out)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
+        columns = ["benchmark", "n", "m", "msgs", "ref s", "fast s", "speedup",
+                   "counters =="]
+        if args.mem:
+            columns.append("peak KiB")
         table = ExperimentTable(
             "bench",
             "Fast path vs reference (counters must be bit-identical)",
-            ["benchmark", "n", "m", "msgs", "ref s", "fast s", "speedup", "counters =="],
+            columns,
         )
         for record in report["results"]:
-            table.add_row(
+            row = [
                 record["benchmark"],
                 record["n"],
                 record["m"],
                 record["counters"].get("messages", "-"),
-                record["wall_s_reference"],
+                "-" if record["wall_s_reference"] is None
+                else record["wall_s_reference"],
                 record["wall_s_fast"],
-                record["speedup"],
+                "-" if record["speedup"] is None else record["speedup"],
                 record["counters_equal"],
+            ]
+            if args.mem:
+                row.append(record.get("peak_kb_fast", "-"))
+            table.add_row(*row)
+        if any(record["speedup"] is None for record in report["results"]):
+            table.add_note(
+                "'-' rows ran fast-path-only (above the reference cutoff)"
             )
         if args.out and args.out != "-":
             table.add_note(f"report written to {args.out}")
@@ -867,9 +891,9 @@ def _command_bench(args: argparse.Namespace) -> int:
             table.add_row(
                 row["benchmark"],
                 row["n"],
-                row["baseline_speedup"],
-                row["current_speedup"],
-                f"{row['delta_pct']:+.1f}%",
+                "-" if row["baseline_speedup"] is None else row["baseline_speedup"],
+                "-" if row["current_speedup"] is None else row["current_speedup"],
+                "-" if row["delta_pct"] is None else f"{row['delta_pct']:+.1f}%",
                 row["regressed"],
             )
         if comparison["missing"]:

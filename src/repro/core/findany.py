@@ -44,8 +44,10 @@ from .sketches import (
     local_xor_below,
     prefix_flip_masks,
     prefix_parity_word,
+    prefix_parity_words_all,
     unpack_parity_word,
     xor_below_from_numbers,
+    xor_below_words_all,
     xor_combine,
     xor_vector_combine,
 )
@@ -129,18 +131,30 @@ class FindAny:
         )
 
         fast = fastpath.is_enabled()
+        cols = self.tester._batch_columnar(tree)
 
         # Step 3(a-c): prefix-parity vector, XORed up the tree.  On the fast
         # path the per-node vector is a single parity word (one hash per
         # incident edge, all prefixes derived from its bit length) combined
-        # with int XOR; the echo width charged is identical.
+        # with int XOR; the echo width charged is identical.  On large
+        # covering trees the words for every node come from one batched pass
+        # over the columnar snapshot instead of one kernel call per node.
         if fast:
             masks = prefix_flip_masks(pairwise.log_range)
 
-            def local_word(node: int) -> int:
-                return prefix_parity_word(
-                    self.graph.incident_arrays(node).numbers, pairwise, masks
-                )
+            if cols is not None:
+                words = prefix_parity_words_all(cols, pairwise, masks)
+                pos = cols.pos
+
+                def local_word(node: int) -> int:
+                    return words[pos[node]]
+
+            else:
+
+                def local_word(node: int) -> int:
+                    return prefix_parity_word(
+                        self.graph.incident_arrays(node).numbers, pairwise, masks
+                    )
 
             word = self.tester.executor.broadcast_and_echo(
                 root=root,
@@ -174,7 +188,14 @@ class FindAny:
             return None
 
         # Step 3(d): XOR of edge numbers hashing below 2^min.
-        if fast:
+        if fast and cols is not None:
+            xor_words = xor_below_words_all(cols, pairwise, min_prefix)
+            cols_pos = cols.pos
+
+            def local_xor(node: int) -> int:
+                return xor_words[cols_pos[node]]
+
+        elif fast:
 
             def local_xor(node: int) -> int:
                 return xor_below_from_numbers(
@@ -202,7 +223,18 @@ class FindAny:
             return None
 
         # Step 4: the Test — count endpoints in T incident to the candidate.
-        if fast:
+        if fast and cols is not None:
+            cols_numbers = cols.numbers
+            count_pos = cols.pos
+            cols_indptr = cols.indptr
+
+            def local_count(node: int) -> int:
+                row = count_pos[node]
+                return cols_numbers[cols_indptr[row] : cols_indptr[row + 1]].count(
+                    candidate
+                )
+
+        elif fast:
 
             def local_count(node: int) -> int:
                 return self.graph.incident_arrays(node).numbers.count(candidate)

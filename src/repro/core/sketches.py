@@ -34,13 +34,27 @@ Each kernel has two implementations:
 The two forms are numerically identical (pinned by ``tests/core/
 test_sketches.py``); :mod:`repro.fastpath` decides which one the procedures
 call.
+
+A third tier — the **batched** kernels (``*_words_all``, ``hp_products_all``)
+— computes the same per-node words for *every node of the graph in one pass*
+over the flat :class:`~repro.network.columnar.ColumnarGraph` columns, instead
+of one kernel call per node per broadcast-and-echo.  Each batched kernel is
+word-for-word equal to mapping its per-node counterpart over the nodes
+(pinned by ``tests/core/test_columnar_kernels.py``), so the dispatch decision
+in :func:`repro.fastpath.should_batch` is wall-clock-only.  When numpy is
+importable (:mod:`repro.accel`) the batched kernels vectorise internally —
+but only where exact: uint64 wrap-around multiplication for the odd hash, and
+the Carter–Wegman hash only when its products fit int64; otherwise they run
+the same stdlib loops.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from ..accel import numpy_or_none
+from ..network.columnar import ColumnarGraph
 from ..network.graph import Edge, Graph
 from .hashing import OddHashFunction, PairwiseIndependentHash
 
@@ -53,12 +67,18 @@ __all__ = [
     "prefix_parity_word",
     "prefix_flip_masks",
     "xor_below_from_numbers",
+    "range_parity_words_all",
+    "prefix_parity_words_all",
+    "xor_below_words_all",
+    "hp_products_all",
     "ranges_are_disjoint_sorted",
     "xor_combine",
     "xor_vector_combine",
     "pack_parity_word",
     "unpack_parity_word",
 ]
+
+_UINT64_MAX = (1 << 64) - 1
 
 
 def local_parity(
@@ -218,6 +238,212 @@ def xor_below_from_numbers(
         if ((a * number + b) % p) % range_size < limit:
             result ^= number
     return result
+
+
+# ---------------------------------------------------------------------- #
+# batched whole-graph kernels over ColumnarGraph columns
+# ---------------------------------------------------------------------- #
+def _xor_segments(np, values, indptr) -> List[int]:
+    """Per-CSR-segment XOR of ``values``, as Python ints (numpy tier).
+
+    ``reduceat`` mis-handles empty segments two ways: an empty row's result
+    is ``values[start]`` rather than the identity, and an out-of-bounds
+    start (a trailing empty row has ``start == len(values)``) cannot simply
+    be clipped — a clipped start steals the last slot from the *previous*
+    row's segment.  Reducing only at the non-empty rows' starts (strictly
+    increasing, always in bounds) sidesteps both: empty rows between them
+    contribute no slots, so each non-empty segment still ends exactly at
+    its own stop.
+    """
+    num_rows = len(indptr) - 1
+    out = np.zeros(num_rows, dtype=values.dtype)
+    if values.size == 0:
+        return out.tolist()
+    starts = indptr[:-1]
+    nonempty = starts < indptr[1:]
+    out[nonempty] = np.bitwise_xor.reduceat(values, starts[nonempty])
+    return out.tolist()
+
+
+def _pairwise_fits_int64(pairwise: PairwiseIndependentHash, max_number: int) -> bool:
+    """True iff ``a * x + b`` stays below 2^63 for every edge number."""
+    return pairwise.a * max_number + pairwise.b < (1 << 63)
+
+
+def range_parity_words_all(
+    cols: ColumnarGraph,
+    odd_hash: OddHashFunction,
+    lows: Sequence[int],
+    highs: Sequence[int],
+) -> List[int]:
+    """:func:`range_parity_word` for every node, one pass over the columns.
+
+    ``words[cols.pos[node]]`` equals ``range_parity_word(...)`` over that
+    node's incident edges.  ``lows``/``highs`` must be sorted and disjoint
+    (same contract as the per-node kernel).
+    """
+    np = numpy_or_none()
+    if np is not None and cols.fits64 and odd_hash.word_bits <= 64 and len(lows) <= 64:
+        # Highs clamp to the graph maximum (value-identical: no weight can
+        # exceed it), which brings FindMin's open upper bound 2^256 back
+        # into uint64 territory.
+        bounded_highs = [min(high, cols.max_augmented) for high in highs]
+        if all(low <= _UINT64_MAX for low in lows) and all(
+            high <= _UINT64_MAX for high in bounded_highs
+        ):
+            npc = cols.numpy_columns()
+            weights = npc.aug_sorted
+            hashed = (np.uint64(odd_hash.multiplier) * npc.numbers_by_aug) & np.uint64(
+                (1 << odd_hash.word_bits) - 1
+            )
+            ok = hashed <= np.uint64(odd_hash.threshold)
+            lows_arr = np.asarray(lows, dtype=np.uint64)
+            highs_arr = np.asarray(bounded_highs, dtype=np.uint64)
+            index = np.searchsorted(lows_arr, weights, side="right").astype(np.int64) - 1
+            clipped = np.maximum(index, 0)
+            valid = ok & (index >= 0) & (weights <= highs_arr[clipped])
+            contrib = np.where(
+                valid, np.uint64(1) << clipped.astype(np.uint64), np.uint64(0)
+            )
+            return _xor_segments(np, contrib, npc.indptr)
+
+    indptr = cols.indptr
+    aug_sorted = cols.aug_sorted
+    numbers = cols.numbers_by_aug
+    multiplier = odd_hash.multiplier
+    threshold = odd_hash.threshold
+    mask = (1 << odd_hash.word_bits) - 1
+    low0 = lows[0]
+    high_last = highs[-1]
+    words = [0] * cols.num_nodes
+    for row in range(cols.num_nodes):
+        begin, end = indptr[row], indptr[row + 1]
+        start = bisect_left(aug_sorted, low0, begin, end)
+        stop = bisect_right(aug_sorted, high_last, start, end)
+        word = 0
+        for slot in range(start, stop):
+            if (multiplier * numbers[slot]) & mask <= threshold:
+                weight = aug_sorted[slot]
+                index = bisect_right(lows, weight) - 1
+                if weight <= highs[index]:
+                    word ^= 1 << index
+        words[row] = word
+    return words
+
+
+def prefix_parity_words_all(
+    cols: ColumnarGraph,
+    pairwise: PairwiseIndependentHash,
+    masks: Sequence[int],
+) -> List[int]:
+    """:func:`prefix_parity_word` for every node, one pass over the columns."""
+    np = numpy_or_none()
+    log_range = pairwise.log_range
+    if (
+        np is not None
+        and cols.fits64
+        and log_range + 1 <= 63
+        and _pairwise_fits_int64(pairwise, cols.max_number)
+    ):
+        npc = cols.numpy_columns()
+        numbers = npc.numbers.astype(np.int64)
+        hashed = ((np.int64(pairwise.a) * numbers + np.int64(pairwise.b)) % np.int64(
+            pairwise.p
+        )) % np.int64(pairwise.range_size)
+        # bit_length(h) == #{powers of two <= h} for the powers below the
+        # range, which searchsorted counts directly.
+        powers = np.left_shift(
+            np.int64(1), np.arange(max(log_range, 1), dtype=np.int64)
+        )
+        bitlens = np.searchsorted(powers, hashed, side="right")
+        flips = np.asarray(masks, dtype=np.uint64)[bitlens]
+        return _xor_segments(np, flips, npc.indptr)
+
+    a, b, p = pairwise.a, pairwise.b, pairwise.p
+    range_size = pairwise.range_size
+    indptr = cols.indptr
+    numbers = cols.numbers
+    words = [0] * cols.num_nodes
+    for row in range(cols.num_nodes):
+        word = 0
+        for slot in range(indptr[row], indptr[row + 1]):
+            word ^= masks[(((a * numbers[slot] + b) % p) % range_size).bit_length()]
+        words[row] = word
+    return words
+
+
+def xor_below_words_all(
+    cols: ColumnarGraph,
+    pairwise: PairwiseIndependentHash,
+    prefix_exponent: int,
+) -> List[int]:
+    """:func:`xor_below_from_numbers` for every node, one pass over the columns."""
+    np = numpy_or_none()
+    if (
+        np is not None
+        and cols.fits64
+        and _pairwise_fits_int64(pairwise, cols.max_number)
+    ):
+        npc = cols.numpy_columns()
+        numbers = npc.numbers.astype(np.int64)
+        hashed = ((np.int64(pairwise.a) * numbers + np.int64(pairwise.b)) % np.int64(
+            pairwise.p
+        )) % np.int64(pairwise.range_size)
+        below = hashed < np.int64(1 << prefix_exponent)
+        contrib = np.where(below, npc.numbers, np.uint64(0))
+        return _xor_segments(np, contrib, npc.indptr)
+
+    a, b, p = pairwise.a, pairwise.b, pairwise.p
+    range_size = pairwise.range_size
+    limit = 1 << prefix_exponent
+    indptr = cols.indptr
+    numbers = cols.numbers
+    words = [0] * cols.num_nodes
+    for row in range(cols.num_nodes):
+        result = 0
+        for slot in range(indptr[row], indptr[row + 1]):
+            number = numbers[slot]
+            if ((a * number + b) % p) % range_size < limit:
+                result ^= number
+        words[row] = result
+    return words
+
+
+def hp_products_all(
+    cols: ColumnarGraph,
+    alpha: int,
+    p: int,
+    low: int,
+    high: int,
+) -> List[Tuple[int, int]]:
+    """HP-TestOut's per-node ``(up, down)`` products for every node at once.
+
+    ``products[cols.pos[node]]`` is the pair of Schwartz–Zippel products over
+    the node's incident edges with augmented weight in ``[low, high]``.
+    Stays on the stdlib loop at every scale: the mod-``p`` product chain has
+    no exact vectorised form (intermediate products overflow any fixed
+    width), and multiplication mod ``p`` being commutative makes the
+    weight-sorted slot order harmless — same argument as the per-node path.
+    """
+    indptr = cols.indptr
+    aug_sorted = cols.aug_sorted
+    numbers = cols.numbers_by_aug
+    up = cols.up_by_aug
+    products: List[Tuple[int, int]] = [(1, 1)] * cols.num_nodes
+    for row in range(cols.num_nodes):
+        begin, end = indptr[row], indptr[row + 1]
+        start = bisect_left(aug_sorted, low, begin, end)
+        stop = bisect_right(aug_sorted, high, start, end)
+        if start == stop:
+            continue
+        up_product = down_product = 1
+        for slot in range(start, stop):
+            if up[slot]:
+                up_product = (up_product * (alpha - numbers[slot])) % p
+            else:
+                down_product = (down_product * (alpha - numbers[slot])) % p
+        products[row] = (up_product, down_product)
+    return products
 
 
 def xor_combine(local: int, children: Sequence[int]) -> int:

@@ -43,9 +43,11 @@ from .hashing import OddHashFunction, random_odd_hash
 from .polynomial import SetEqualitySketch
 from .primes import prime_for_field
 from .sketches import (
+    hp_products_all,
     local_range_parities,
     pack_parity_word,
     range_parity_word,
+    range_parity_words_all,
     ranges_are_disjoint_sorted,
     unpack_parity_word,
 )
@@ -89,6 +91,17 @@ class CutTester:
         self.accountant = accountant if accountant is not None else MessageAccountant()
         self.executor = BroadcastEchoExecutor(graph, forest, self.accountant)
 
+    def _batch_columnar(self, tree: Optional[TreeStructure]):
+        """The graph's columnar snapshot when batching pays off, else ``None``.
+
+        Wall-clock dispatch only (see :func:`repro.fastpath.should_batch`):
+        whichever branch runs, the per-node values — and therefore every
+        counter — are identical.
+        """
+        if tree is not None and fastpath.should_batch(tree.size, self.graph.num_nodes):
+            return self.graph.columnar()
+        return None
+
     # ------------------------------------------------------------------ #
     # statistics (FindMin step 2 / HP-TestOut step 0)
     # ------------------------------------------------------------------ #
@@ -97,8 +110,26 @@ class CutTester:
     ) -> TreeStatistics:
         """One broadcast-and-echo computing size, maxEdgeNum, maxWt and B."""
         id_bits = self.graph.id_bits
+        cols = self._batch_columnar(tree)
 
-        if fastpath.is_enabled():
+        if cols is not None:
+            # O(1) per node: the maxima and degrees are columns of the
+            # snapshot, no per-node arrays to materialise.
+            pos = cols.pos
+            indptr = cols.indptr
+            node_max_number = cols.node_max_number
+            node_max_augmented = cols.node_max_augmented
+
+            def local(node: int) -> Tuple[int, int, int, int]:
+                row = pos[node]
+                return (
+                    1,
+                    node_max_number[row],
+                    node_max_augmented[row],
+                    indptr[row + 1] - indptr[row],
+                )
+
+        elif fastpath.is_enabled():
 
             def local(node: int) -> Tuple[int, int, int, int]:
                 arrays = self.graph.incident_arrays(node)
@@ -215,12 +246,22 @@ class CutTester:
             # weight range by bisection, accumulate a single parity word.
             lows = [low for low, _ in resolved_ranges]
             highs = [high for _, high in resolved_ranges]
+            cols = self._batch_columnar(tree)
 
-            def local(node: int) -> int:
-                arrays = self.graph.incident_arrays(node)
-                return range_parity_word(
-                    arrays.aug_sorted, arrays.numbers_by_aug, hash_fn, lows, highs
-                )
+            if cols is not None:
+                words = range_parity_words_all(cols, hash_fn, lows, highs)
+                pos = cols.pos
+
+                def local(node: int) -> int:
+                    return words[pos[node]]
+
+            else:
+
+                def local(node: int) -> int:
+                    arrays = self.graph.incident_arrays(node)
+                    return range_parity_word(
+                        arrays.aug_sorted, arrays.numbers_by_aug, hash_fn, lows, highs
+                    )
 
         else:
 
@@ -291,7 +332,16 @@ class CutTester:
         low_bound = low if low is not None else 0
         high_bound = high if high is not None else (1 << 256)
 
-        if fastpath.is_enabled():
+        cols = self._batch_columnar(tree)
+        if cols is not None:
+            products = hp_products_all(cols, alpha, p, low_bound, high_bound)
+            pos = cols.pos
+
+            def local(node: int) -> SetEqualitySketch:
+                up_product, down_product = products[pos[node]]
+                return SetEqualitySketch(up_product, down_product, alpha, p)
+
+        elif fastpath.is_enabled():
 
             def local(node: int) -> SetEqualitySketch:
                 # Bisect to the incident edges inside the weight window and

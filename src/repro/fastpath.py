@@ -39,14 +39,52 @@ import os
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["is_enabled", "set_enabled", "fast_path", "reference_path"]
+__all__ = [
+    "is_enabled",
+    "set_enabled",
+    "fast_path",
+    "reference_path",
+    "batch_min_nodes",
+    "should_batch",
+]
 
 _enabled = os.environ.get("REPRO_FASTPATH", "1") not in ("0", "false", "off")
+
+#: Below this tree size the batched columnar kernels are not worth their
+#: whole-graph setup; tune with ``REPRO_BATCH_MIN_NODES`` (the fuzz campaign
+#: lowers it so moderate graphs exercise the columnar path too).
+_DEFAULT_BATCH_MIN_NODES = 64
 
 
 def is_enabled() -> bool:
     """True iff the fast path (caches + one-pass kernels) is active."""
     return _enabled
+
+
+def batch_min_nodes() -> int:
+    """Minimum tree size for batched (whole-graph) columnar kernels."""
+    try:
+        return int(os.environ.get("REPRO_BATCH_MIN_NODES", _DEFAULT_BATCH_MIN_NODES))
+    except ValueError:
+        return _DEFAULT_BATCH_MIN_NODES
+
+
+def should_batch(tree_size: int, graph_nodes: int) -> bool:
+    """Whether a broadcast-and-echo should use the batched columnar kernels.
+
+    Purely a wall-clock heuristic — it can never change a computed value
+    (the batched kernels are value-identical to the per-node ones and every
+    combine used with them is commutative/associative), so counters stay
+    bit-identical regardless of the answer.  Batching computes words for
+    *every* graph node in one pass, which only pays off when the tree is
+    both large (``REPRO_BATCH_MIN_NODES``) and covers at least half the
+    graph.
+    """
+    return (
+        _enabled
+        and tree_size >= batch_min_nodes()
+        and 2 * tree_size >= graph_nodes
+    )
 
 
 def set_enabled(value: bool) -> bool:

@@ -1,0 +1,249 @@
+"""Flat columnar incidence storage for whole-graph sketch passes.
+
+The per-node fast path caches an :class:`~repro.network.graph.IncidentArrays`
+tuple per node — a dict of Python tuples that is rebuilt lazily after every
+mutation and walked once per node per broadcast-and-echo.  At n ≥ 10^4 the
+dict churn and per-node bisections dominate the simulator's profile.  This
+module stores the *whole graph's* incidence structure once, in CSR form:
+
+* ``ids`` — the node IDs in sorted order; ``pos`` maps an ID to its row.
+* ``indptr`` — ``indptr[i]:indptr[i+1]`` is node ``ids[i]``'s slot range.
+* ``numbers`` / ``augmented`` / ``up`` — flat slot columns, one entry per
+  (node, incident edge) pair, in :meth:`Graph.incident_edges` order (sorted
+  by the other endpoint's ID).  ``up[slot]`` is 1 iff the node is the smaller
+  endpoint, i.e. the edge counts towards the paper's ``E↑``.
+* ``aug_sorted`` / ``numbers_by_aug`` / ``up_by_aug`` — the same slots
+  re-sorted by augmented weight *within each node's slice*, so
+  weight-windowed kernels bisect instead of scanning the degree.
+
+Columns are ``array('Q')`` when every value fits 64 bits and plain Python
+lists otherwise (the default ``id_bits=32`` pushes augmented weights past 64
+bits, so both representations are first-class).  When numpy is available
+(:mod:`repro.accel`) and the 64-bit representation applies, ``uint64``
+mirrors are materialised lazily for the batched kernels in
+:mod:`repro.core.sketches`; the mirrors are a wall-clock tier only — every
+kernel has a stdlib loop over the same columns producing identical words.
+
+Instances are immutable snapshots of one graph version; :meth:`Graph.columnar`
+caches the snapshot against :attr:`Graph.version` so a repair step pays the
+build once between mutations.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..accel import numpy_or_none
+from .errors import GraphError
+
+__all__ = ["ColumnarGraph"]
+
+_UINT64_MAX = (1 << 64) - 1
+
+
+def _freeze(values: List[int], fits64: bool) -> Sequence[int]:
+    """An ``array('Q')`` copy when every value fits 64 bits, else the list."""
+    return array("Q", values) if fits64 else values
+
+
+class _NumpyColumns:
+    """Lazily-built uint64 mirrors of the flat columns (numpy tier only)."""
+
+    __slots__ = (
+        "numbers",
+        "aug_sorted",
+        "numbers_by_aug",
+        "up",
+        "up_by_aug",
+        "indptr",
+    )
+
+    def __init__(self, np: Any, cols: "ColumnarGraph") -> None:
+        self.numbers = np.asarray(cols.numbers, dtype=np.uint64)
+        self.aug_sorted = np.asarray(cols.aug_sorted, dtype=np.uint64)
+        self.numbers_by_aug = np.asarray(cols.numbers_by_aug, dtype=np.uint64)
+        self.up = np.frombuffer(cols.up, dtype=np.uint8)
+        self.up_by_aug = np.frombuffer(cols.up_by_aug, dtype=np.uint8)
+        self.indptr = np.asarray(cols.indptr, dtype=np.int64)
+
+
+class ColumnarGraph:
+    """An immutable CSR snapshot of a graph's incidence structure.
+
+    Built via :meth:`from_graph` (or, with caching, :meth:`Graph.columnar`).
+    All columns are parallel over *slots*; a node's slots are
+    ``indptr[pos[node]] : indptr[pos[node] + 1]``.
+    """
+
+    __slots__ = (
+        "id_bits",
+        "version",
+        "ids",
+        "pos",
+        "indptr",
+        "numbers",
+        "augmented",
+        "up",
+        "aug_sorted",
+        "numbers_by_aug",
+        "up_by_aug",
+        "node_max_number",
+        "node_max_augmented",
+        "max_number",
+        "max_augmented",
+        "fits64",
+        "_np_cols",
+    )
+
+    def __init__(
+        self,
+        *,
+        id_bits: int,
+        version: int,
+        ids: List[int],
+        indptr: "array[int]",
+        numbers: Sequence[int],
+        augmented: Sequence[int],
+        up: bytearray,
+        aug_sorted: Sequence[int],
+        numbers_by_aug: Sequence[int],
+        up_by_aug: bytearray,
+        node_max_number: Sequence[int],
+        node_max_augmented: Sequence[int],
+        max_number: int,
+        max_augmented: int,
+        fits64: bool,
+    ) -> None:
+        self.id_bits = id_bits
+        self.version = version
+        self.ids = ids
+        self.pos: Dict[int, int] = {node: i for i, node in enumerate(ids)}
+        self.indptr = indptr
+        self.numbers = numbers
+        self.augmented = augmented
+        self.up = up
+        self.aug_sorted = aug_sorted
+        self.numbers_by_aug = numbers_by_aug
+        self.up_by_aug = up_by_aug
+        self.node_max_number = node_max_number
+        self.node_max_augmented = node_max_augmented
+        self.max_number = max_number
+        self.max_augmented = max_augmented
+        self.fits64 = fits64
+        self._np_cols: Optional[_NumpyColumns] = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(cls, graph: Any) -> "ColumnarGraph":
+        """Build the CSR snapshot for ``graph`` at its current version."""
+        adj: Dict[int, Dict[int, Any]] = graph._adj
+        id_bits = graph.id_bits
+        shift = 2 * id_bits
+        ids = sorted(adj)
+        indptr = array("l", [0] * (len(ids) + 1))
+        numbers: List[int] = []
+        augmented: List[int] = []
+        up = bytearray()
+        aug_sorted: List[int] = []
+        numbers_by_aug: List[int] = []
+        up_by_aug = bytearray()
+        node_max_number: List[int] = []
+        node_max_augmented: List[int] = []
+        max_number = 0
+        max_augmented = 0
+        slot = 0
+        for row, node in enumerate(ids):
+            nbrs = adj[node]
+            start = slot
+            for other in sorted(nbrs):
+                edge = nbrs[other]
+                number = (edge.u << id_bits) | edge.v
+                aug = (edge.weight << shift) | number
+                numbers.append(number)
+                augmented.append(aug)
+                up.append(1 if node == edge.u else 0)
+                slot += 1
+            indptr[row + 1] = slot
+            if slot > start:
+                local_max_num = max(numbers[start:slot])
+                local_max_aug = max(augmented[start:slot])
+            else:
+                local_max_num = local_max_aug = 0
+            node_max_number.append(local_max_num)
+            node_max_augmented.append(local_max_aug)
+            if local_max_num > max_number:
+                max_number = local_max_num
+            if local_max_aug > max_augmented:
+                max_augmented = local_max_aug
+            order = sorted(range(start, slot), key=augmented.__getitem__)
+            for j in order:
+                aug_sorted.append(augmented[j])
+                numbers_by_aug.append(numbers[j])
+                up_by_aug.append(up[j])
+        fits64 = max_augmented <= _UINT64_MAX
+        return cls(
+            id_bits=id_bits,
+            version=graph.version,
+            ids=ids,
+            indptr=indptr,
+            numbers=_freeze(numbers, fits64),
+            augmented=_freeze(augmented, fits64),
+            up=up,
+            aug_sorted=_freeze(aug_sorted, fits64),
+            numbers_by_aug=_freeze(numbers_by_aug, fits64),
+            up_by_aug=up_by_aug,
+            node_max_number=_freeze(node_max_number, fits64),
+            node_max_augmented=_freeze(node_max_augmented, fits64),
+            max_number=max_number,
+            max_augmented=max_augmented,
+            fits64=fits64,
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return len(self.ids)
+
+    @property
+    def num_slots(self) -> int:
+        """Total slot count (= 2 * num_edges)."""
+        return len(self.numbers)
+
+    def slice_of(self, node: int) -> Tuple[int, int]:
+        """The ``[start, stop)`` slot range of ``node``'s incident edges."""
+        try:
+            row = self.pos[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node} not present") from exc
+        return self.indptr[row], self.indptr[row + 1]
+
+    def degree(self, node: int) -> int:
+        start, stop = self.slice_of(node)
+        return stop - start
+
+    def numpy_columns(self) -> Optional[_NumpyColumns]:
+        """uint64 mirrors of the columns, or ``None`` outside the numpy tier.
+
+        Only available when every value fits 64 bits (``fits64``) — the
+        mirrors exist purely so the batched kernels can vectorise; callers
+        must fall back to the stdlib columns when this returns ``None``.
+        """
+        if not self.fits64:
+            return None
+        if self._np_cols is None:
+            np = numpy_or_none()
+            if np is None:
+                return None
+            self._np_cols = _NumpyColumns(np, self)
+        return self._np_cols
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnarGraph(n={self.num_nodes}, slots={self.num_slots}, "
+            f"fits64={self.fits64}, version={self.version})"
+        )

@@ -15,6 +15,8 @@ the only state that persists between updates.
 
 from __future__ import annotations
 
+import os
+from array import array
 from bisect import insort
 from collections import deque
 from typing import (
@@ -38,9 +40,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["SpanningForest"]
 
-#: How many mutations the journal retains.  A structure cached longer ago
-#: than this many mutations is rebuilt instead of patched.
+#: How many mutations the journal retains by default.  A structure cached
+#: longer ago than this many mutations is rebuilt instead of patched.
+#: Override per process with ``REPRO_JOURNAL_LIMIT``, or per forest with the
+#: ``journal_limit`` constructor argument; the
+#: :meth:`~repro.network.tree_cache.TreeStructureCache.stats` hook reports
+#: how often an overrun forced a rebuild, so large-n runs can tune this
+#: instead of silently paying full BFS rebuilds.
 _JOURNAL_LIMIT = 1024
+
+
+def default_journal_limit() -> int:
+    """The journal bound from ``REPRO_JOURNAL_LIMIT`` (default 1024)."""
+    try:
+        value = int(os.environ.get("REPRO_JOURNAL_LIMIT", _JOURNAL_LIMIT))
+    except ValueError:
+        return _JOURNAL_LIMIT
+    return max(value, 1)
 
 
 class SpanningForest:
@@ -55,15 +71,29 @@ class SpanningForest:
     degree)`` instead of ``O(degree)``.
     """
 
-    def __init__(self, graph: Graph, marked: Optional[Iterable[Tuple[int, int]]] = None):
+    def __init__(
+        self,
+        graph: Graph,
+        marked: Optional[Iterable[Tuple[int, int]]] = None,
+        journal_limit: Optional[int] = None,
+    ):
         self.graph = graph
         self._marked: Set[Tuple[int, int]] = set()
         self._marked_adj: Dict[int, List[int]] = {}
         self._version = 0
         self._journal: deque = deque()
+        self._journal_limit = (
+            max(journal_limit, 1) if journal_limit is not None else default_journal_limit()
+        )
         self._structures: Optional["TreeStructureCache"] = None
+        self._marked_csr: Optional[Tuple[int, List[int], Dict[int, int], "array[int]", List[int]]] = None
         for u, v in marked or []:
             self.mark(u, v)
+
+    @property
+    def journal_limit(self) -> int:
+        """How many mutations the patch journal retains for this forest."""
+        return self._journal_limit
 
     # ------------------------------------------------------------------ #
     # marking
@@ -116,7 +146,7 @@ class SpanningForest:
     def _record(self, op: str, key: Tuple[int, int]) -> None:
         self._version += 1
         self._journal.append((self._version, op, key[0], key[1]))
-        if len(self._journal) > _JOURNAL_LIMIT:
+        if len(self._journal) > self._journal_limit:
             self._journal.popleft()
 
     def journal_since(self, version: int) -> Optional[List[Tuple[int, str, int, int]]]:
@@ -130,6 +160,36 @@ class SpanningForest:
         if not self._journal or self._journal[0][0] > version + 1:
             return None
         return [entry for entry in self._journal if entry[0] > version]
+
+    def marked_csr(self) -> Tuple[List[int], Dict[int, int], "array[int]", List[int]]:
+        """Flat CSR columns of the marked adjacency at the current version.
+
+        Returns ``(ids, pos, indptr, neighbors)``: ``ids`` is every graph
+        node sorted, ``pos`` maps a node to its row, and row ``i``'s marked
+        neighbours are ``neighbors[indptr[i]:indptr[i+1]]`` — in the same
+        sorted order :meth:`marked_neighbors` reports, so a BFS over the
+        columns visits nodes in exactly the order a BFS over the per-node
+        lists would.  Cached against :attr:`version`; the
+        :class:`~repro.network.tree_cache.TreeStructureCache` uses it for
+        whole-graph rebuilds instead of one list allocation per node.
+        """
+        cache = self._marked_csr
+        if cache is not None and cache[0] == self._version:
+            return cache[1], cache[2], cache[3], cache[4]
+        ids = self.graph.nodes()
+        pos = {node: i for i, node in enumerate(ids)}
+        indptr = array("l", [0] * (len(ids) + 1))
+        neighbors: List[int] = []
+        marked_adj = self._marked_adj
+        slot = 0
+        for i, node in enumerate(ids):
+            nbrs = marked_adj.get(node)
+            if nbrs:
+                neighbors.extend(nbrs)
+                slot += len(nbrs)
+            indptr[i + 1] = slot
+        self._marked_csr = (self._version, ids, pos, indptr, neighbors)
+        return ids, pos, indptr, neighbors
 
     @property
     def structures(self) -> "TreeStructureCache":

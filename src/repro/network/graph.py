@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Set, Tuple
 
+from .columnar import ColumnarGraph
 from .errors import GraphError
 
 __all__ = ["Edge", "Graph", "IncidentArrays", "edge_key"]
@@ -130,6 +131,7 @@ class Graph:
         self._incident_cache_version = -1
         self._maxima_cache: Optional[Tuple[int, int, int]] = None
         self._maxima_cache_version = -1
+        self._columnar_cache: Optional[ColumnarGraph] = None
 
     # ------------------------------------------------------------------ #
     # construction / mutation
@@ -149,6 +151,7 @@ class Graph:
         if node not in self._adj:
             self._adj[node] = {}
             self._version += 1
+            self._note_mutation()
 
     def add_edge(self, u: int, v: int, weight: int = 1) -> Edge:
         """Insert the edge ``{u, v}`` with the given weight.
@@ -167,6 +170,7 @@ class Graph:
         self._adj[a][b] = edge
         self._adj[b][a] = edge
         self._version += 1
+        self._note_mutation(a, b)
         return edge
 
     def remove_edge(self, u: int, v: int) -> Edge:
@@ -178,6 +182,7 @@ class Graph:
         except KeyError as exc:
             raise GraphError(f"edge ({a}, {b}) not present") from exc
         self._version += 1
+        self._note_mutation(a, b)
         return edge
 
     def remove_node(self, node: int) -> None:
@@ -188,6 +193,7 @@ class Graph:
             self.remove_edge(node, other)
         del self._adj[node]
         self._version += 1
+        self._note_mutation(node)
 
     def set_weight(self, u: int, v: int, weight: int) -> Edge:
         """Change the weight of an existing edge and return the new Edge."""
@@ -308,13 +314,31 @@ class Graph:
     # ------------------------------------------------------------------ #
     # fast-path caches (version-stamped; see repro.fastpath)
     # ------------------------------------------------------------------ #
+    def _note_mutation(self, *touched: int) -> None:
+        """Keep the incident cache current by evicting only touched nodes.
+
+        Every mutator calls this right after bumping :attr:`version`.  A
+        single-edge mutation only changes its two endpoints' incidence lists,
+        so only those entries are dropped and every other node's cached
+        arrays survive (pinned by ``tests/network/test_graph.py``).  The
+        version-mismatch branch is a safety net for subclasses that bump the
+        version without reporting the touched nodes.
+        """
+        if self._incident_cache_version == self._version - 1:
+            for node in touched:
+                self._incident_cache.pop(node, None)
+        elif self._incident_cache_version != self._version:
+            self._incident_cache.clear()
+        self._incident_cache_version = self._version
+
     def incident_arrays(self, node: int) -> IncidentArrays:
         """Cached :class:`IncidentArrays` for ``node`` at the current version.
 
-        The cache is invalidated wholesale whenever the graph mutates and
-        repopulated lazily per node, so a repair step pays for each node's
+        Mutations evict only the touched nodes' entries (see
+        :meth:`_note_mutation`), so a repair step pays for each node's
         arrays at most once between updates instead of once per
-        broadcast-and-echo.
+        broadcast-and-echo — and untouched nodes keep their arrays across
+        single-edge updates.
         """
         if self._incident_cache_version != self._version:
             self._incident_cache.clear()
@@ -374,6 +398,20 @@ class Graph:
             self._maxima_cache = (max_number, max_weight, max_augmented)
             self._maxima_cache_version = self._version
         return self._maxima_cache
+
+    def columnar(self) -> ColumnarGraph:
+        """Cached :class:`~repro.network.columnar.ColumnarGraph` snapshot.
+
+        Rebuilt lazily after any mutation (the snapshot is immutable and
+        stamped with the version it was built at), so whole-graph batched
+        kernels pay one CSR build per graph version instead of populating
+        per-node :class:`IncidentArrays` entries one dict insert at a time.
+        """
+        cache = self._columnar_cache
+        if cache is None or cache.version != self._version:
+            cache = ColumnarGraph.from_graph(self)
+            self._columnar_cache = cache
+        return cache
 
     # ------------------------------------------------------------------ #
     # structure

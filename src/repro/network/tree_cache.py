@@ -32,10 +32,10 @@ from __future__ import annotations
 
 from bisect import insort
 from collections import OrderedDict, deque
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .. import fastpath
-from .broadcast import TreeStructure, build_tree_structure
+from .broadcast import TreeStructure, build_tree_structure, build_tree_structure_csr
 from .fragments import SpanningForest
 
 __all__ = ["TreeStructureCache", "rooted_tree"]
@@ -58,6 +58,8 @@ class TreeStructureCache:
         self._entries: "OrderedDict[int, _Entry]" = OrderedDict()
         self.hits = 0
         self.rebuilds = 0
+        self.patches = 0
+        self.journal_overruns = 0
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -67,13 +69,18 @@ class TreeStructureCache:
         version = self.forest.version
         entry = self._entries.get(root)
         if entry is not None:
-            if entry.version == version or self._patch(entry):
-                entry.version = version
+            if entry.version == version:
                 self._entries.move_to_end(root)
                 self.hits += 1
                 return entry.structure
+            if self._patch(entry):
+                entry.version = version
+                self._entries.move_to_end(root)
+                self.hits += 1
+                self.patches += 1
+                return entry.structure
             del self._entries[root]
-        structure = build_tree_structure(self.forest, root)
+        structure = self._build(root)
         self.rebuilds += 1
         self._entries[root] = _Entry(version, structure)
         self._entries.move_to_end(root)
@@ -81,9 +88,41 @@ class TreeStructureCache:
             self._entries.popitem(last=False)
         return structure
 
+    def _build(self, root: int) -> TreeStructure:
+        """Full rebuild: flat-column BFS when the forest covers the graph.
+
+        Dispatch is wall-clock-only (both builders produce identical
+        structures); ``num_marked + 1`` bounds the size of the largest
+        maintained tree from above, so small-fragment rebuilds keep the
+        per-node path and skip the whole-graph CSR snapshot.
+        """
+        forest = self.forest
+        if fastpath.should_batch(forest.num_marked + 1, forest.graph.num_nodes):
+            return build_tree_structure_csr(forest, root)
+        return build_tree_structure(forest, root)
+
     def invalidate(self) -> None:
         """Drop every cached structure (used by tests)."""
         self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for tuning large-n runs.
+
+        ``journal_overruns`` counts patch attempts abandoned because the
+        forest's bounded journal no longer reached back to the cached
+        version — persistent overruns mean ``REPRO_JOURNAL_LIMIT`` (or the
+        forest's ``journal_limit``) is too small for the workload and every
+        such lookup paid a full rebuild.
+        """
+        return {
+            "hits": self.hits,
+            "patches": self.patches,
+            "rebuilds": self.rebuilds,
+            "journal_overruns": self.journal_overruns,
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "journal_limit": self.forest.journal_limit,
+        }
 
     # ------------------------------------------------------------------ #
     # journal replay
@@ -92,6 +131,7 @@ class TreeStructureCache:
         """Replay journal mutations onto ``entry``; False means rebuild."""
         ops = self.forest.journal_since(entry.version)
         if ops is None:
+            self.journal_overruns += 1
             return False
         structure = entry.structure
         touched = False

@@ -309,11 +309,19 @@ class TestFaultsCli:
 
 
 class TestBenchBaseline:
-    def test_baseline_self_comparison_passes(self, capsys, tmp_path):
+    def test_baseline_comparison_passes_with_headroom(self, capsys, tmp_path):
         out = tmp_path / "bench.json"
         assert main(["bench", "--benchmarks", "bench_testout", "--sizes", "20",
                      "--out", str(out)]) == 0
         capsys.readouterr()
+        # Two back-to-back single-sample timings of a millisecond benchmark
+        # can wobble past the gate's crater floor on a loaded machine, so
+        # deflate the recorded trajectory: the gate outcome is then
+        # deterministic while the full compare/render path still runs.
+        report = json.loads(out.read_text())
+        for record in report["results"]:
+            record["speedup"] = record["speedup"] / 4
+        out.write_text(json.dumps(report))
         code = main(["bench", "--benchmarks", "bench_testout", "--sizes", "20",
                      "--out", "-", "--baseline", str(out)])
         output = capsys.readouterr().out

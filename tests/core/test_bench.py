@@ -27,6 +27,7 @@ class TestRegistry:
             "bench_findmin",
             "bench_repair",
             "bench_service_throughput",
+            "bench_sketch_pass",
             "bench_testout",
         ]
 
@@ -69,6 +70,43 @@ class TestRunBenchmark:
     def test_sizes_override_applies_to_all(self):
         report = run_benchmarks(names=["bench_build_st"], sizes=[16, 20])
         assert [r["n"] for r in report["results"]] == [16, 20]
+
+    def test_mem_flag_records_tracemalloc_peaks(self):
+        record = run_benchmark("bench_testout", 20, seed=1, mem=True)
+        assert record.counters_equal
+        assert record.peak_kb_fast is not None and record.peak_kb_fast > 0
+        assert record.peak_kb_reference is not None
+        payload = record.to_dict()
+        assert payload["peak_kb_fast"] == record.peak_kb_fast
+        # Without --mem the memory fields stay out of the report entirely.
+        lean = run_benchmark("bench_testout", 20, seed=1).to_dict()
+        assert "peak_kb_fast" not in lean and "peak_kb_reference" not in lean
+
+    def test_reference_cutoff_skips_reference_pass(self, monkeypatch):
+        from repro.bench import BENCHMARKS
+
+        monkeypatch.setattr(BENCHMARKS["bench_sketch_pass"], "reference_cutoff", 16)
+        record = run_benchmark("bench_sketch_pass", 24, seed=4)
+        assert record.wall_s_reference is None
+        assert record.speedup is None
+        assert record.counters_equal  # vacuous: nothing to compare
+        payload = record.to_dict()
+        assert payload["speedup"] is None and payload["wall_s_reference"] is None
+
+    def test_large_profile_appends_scaling_sizes(self, monkeypatch):
+        from repro.bench import BENCHMARKS
+
+        bench = BENCHMARKS["bench_sketch_pass"]
+        monkeypatch.setattr(bench, "sizes", (16,))
+        monkeypatch.setattr(bench, "large_sizes", (24,))
+        monkeypatch.setattr(bench, "reference_cutoff", 16)
+        report = run_benchmarks(names=["bench_sketch_pass"], profile="large")
+        assert [r["n"] for r in report["results"]] == [16, 24]
+        assert report["results"][0]["speedup"] is not None
+        assert report["results"][1]["speedup"] is None
+        assert report["profile"] == "large"
+        with pytest.raises(AlgorithmError):
+            run_benchmarks(names=["bench_sketch_pass"], profile="huge")
 
     def test_byzantine_overhead_counters(self):
         record = run_benchmark("bench_broadcast_byzantine", 32, seed=2)
@@ -124,14 +162,27 @@ class TestCompareToBaseline:
         assert comparison["missing"] == ["z@n=64"]
         assert comparison["uncompared"] == ["b@n=64"]
 
+    def test_fast_only_rows_are_visible_but_ungated(self):
+        # Rows above the reference cutoff carry speedup=None on either side;
+        # they must neither crash the comparison nor count as regressions.
+        baseline = _report(("a", 64, 4.0), ("big", 100_000, None))
+        current = _report(("a", 64, 4.0), ("big", 100_000, None))
+        comparison = compare_to_baseline(current, baseline)
+        assert comparison["regressions"] == []
+        assert not comparison["aggregate_regressed"]
+        big = next(r for r in comparison["rows"] if r["benchmark"] == "big")
+        assert big["delta_pct"] is None and big["regressed"] is False
+
 
 class TestBenchCli:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench", "--quick"])
         assert args.quick is True
-        assert args.out == "BENCH_PR7.json"
+        assert args.out == "BENCH_PR9.json"
         assert args.benchmarks is None
         assert args.baseline is None
+        assert args.profile == "default"
+        assert args.mem is False
 
     def test_bench_command_json(self, tmp_path, capsys):
         out = tmp_path / "report.json"

@@ -168,3 +168,116 @@ class TestFuzzAgainstRebuild:
             cached = forest.rooted_structure(root)
             rebuilt = build_tree_structure(forest, root)
             assert_same_structure(cached, rebuilt)
+
+
+class TestJournalLimitConfiguration:
+    def test_constructor_limit_wins(self, triangle_graph):
+        forest = SpanningForest(triangle_graph, journal_limit=3)
+        assert forest.journal_limit == 3
+        v0 = forest.version
+        for _ in range(4):
+            forest.mark(1, 2)
+            forest.unmark(1, 2)
+        assert forest.journal_since(v0) is None  # 8 ops > limit 3
+
+    def test_env_override_applies_to_new_forests(self, triangle_graph, monkeypatch):
+        from repro.network import fragments
+
+        monkeypatch.setenv("REPRO_JOURNAL_LIMIT", "7")
+        assert fragments.default_journal_limit() == 7
+        assert SpanningForest(triangle_graph).journal_limit == 7
+        monkeypatch.setenv("REPRO_JOURNAL_LIMIT", "not-a-number")
+        assert fragments.default_journal_limit() == fragments._JOURNAL_LIMIT
+        monkeypatch.setenv("REPRO_JOURNAL_LIMIT", "0")
+        assert fragments.default_journal_limit() == 1  # clamped to >= 1
+
+    def test_limit_floor_is_one(self, triangle_graph):
+        assert SpanningForest(triangle_graph, journal_limit=-5).journal_limit == 1
+
+
+class TestCacheStats:
+    def test_stats_snapshot_counts_hits_patches_rebuilds(self):
+        graph, forest = path_forest(8)
+        cache = forest.structures
+        cache.get(1)  # rebuild
+        cache.get(1)  # exact-version hit
+        forest.unmark(4, 5)  # detach: patchable
+        cache.get(1)  # patched hit
+        stats = cache.stats()
+        assert stats["rebuilds"] == 1
+        assert stats["hits"] == 2
+        assert stats["patches"] == 1
+        assert stats["journal_overruns"] == 0
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == cache.max_entries
+        assert stats["journal_limit"] == forest.journal_limit
+
+    def test_journal_overrun_counted_and_forces_rebuild(self, triangle_graph):
+        graph = triangle_graph
+        forest = SpanningForest(graph, marked=[(1, 2), (2, 3)], journal_limit=2)
+        cache = forest.structures
+        cache.get(1)
+        for _ in range(3):  # 6 ops: blows the 2-entry journal
+            forest.unmark(1, 2)
+            forest.mark(1, 2)
+        rebuilds = cache.rebuilds
+        structure = cache.get(1)
+        assert cache.journal_overruns == 1
+        assert cache.rebuilds == rebuilds + 1
+        assert cache.stats()["journal_overruns"] == 1
+        assert_same_structure(structure, build_tree_structure(forest, 1))
+
+
+class TestCsrRebuild:
+    """The flat-column BFS builder must equal the per-node one exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_csr_builder_matches_reference(self, seed):
+        from repro.network.broadcast import build_tree_structure_csr
+
+        rng = random.Random(seed)
+        n = 20
+        graph = random_connected_graph(n, 2 * n, seed=seed)
+        forest = random_spanning_tree_forest(graph, seed=seed + 1)
+        # Split into several components so non-tree rows and empty rows
+        # (isolated-in-forest nodes) appear in the CSR columns.
+        for key in sorted(forest.marked_edges)[:3]:
+            forest.unmark(*key)
+        for root in graph.nodes():
+            assert_same_structure(
+                build_tree_structure_csr(forest, root),
+                build_tree_structure(forest, root),
+            )
+
+    def test_csr_builder_rejects_missing_root(self):
+        from repro.network.broadcast import build_tree_structure_csr
+        from repro.network.errors import ProtocolError
+
+        graph, forest = path_forest(4)
+        with pytest.raises(ProtocolError):
+            build_tree_structure_csr(forest, 99)
+
+    def test_marked_csr_matches_neighbors_and_caches(self):
+        graph, forest = path_forest(6)
+        ids, pos, indptr, neighbors = forest.marked_csr()
+        assert ids == graph.nodes()
+        for i, node in enumerate(ids):
+            assert pos[node] == i
+            assert neighbors[indptr[i]:indptr[i + 1]] == forest.marked_neighbors(node)
+        assert forest.marked_csr()[3] is neighbors  # cached at this version
+        forest.unmark(3, 4)
+        fresh = forest.marked_csr()[3]
+        assert fresh is not neighbors
+        row = pos[3]
+        assert fresh[forest.marked_csr()[2][row]:forest.marked_csr()[2][row + 1]] == [2]
+
+    def test_batched_rebuild_dispatch_is_structure_invariant(self, monkeypatch):
+        # With the batch threshold forced down, _build takes the CSR path on
+        # covering forests; the resulting structure must be identical.
+        monkeypatch.setenv("REPRO_BATCH_MIN_NODES", "2")
+        graph = random_connected_graph(16, 32, seed=9)
+        forest = random_spanning_tree_forest(graph, seed=10)
+        cache = TreeStructureCache(forest)
+        structure = cache.get(1)
+        assert cache.rebuilds == 1
+        assert_same_structure(structure, build_tree_structure(forest, 1))
