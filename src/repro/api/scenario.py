@@ -288,11 +288,18 @@ class ScheduleSpec:
     params:
         Extra scheduler parameters, JSON-friendly (``edge-delay`` takes
         ``default_delay`` and ``delays`` as ``{"u-v": d}`` or ``[[u,v,d]]``).
+    batch_size:
+        Wave size for batched impromptu repair: the repair runners chunk
+        the update stream into waves of this many events and coalesce each
+        wave into one shared repair round.  ``None`` (the default, and what
+        every pre-existing payload deserializes to) keeps sequential
+        per-update processing unless ``REPRO_REPAIR_BATCH`` overrides it.
     """
 
     scheduler: str = "fifo"
     seed: Optional[int] = None
     params: Mapping[str, Any] = field(default_factory=dict)
+    batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -304,6 +311,10 @@ class ScheduleSpec:
             raise AlgorithmError(
                 f"the {self.scheduler!r} scheduler is deterministic and takes no seed"
             )
+        if self.batch_size is not None and (
+            not isinstance(self.batch_size, int) or self.batch_size < 1
+        ):
+            raise AlgorithmError("ScheduleSpec.batch_size must be a positive integer")
         object.__setattr__(self, "params", dict(self.params))
 
     def __hash__(self) -> int:
@@ -330,15 +341,20 @@ class ScheduleSpec:
     # serialisation
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "scheduler": self.scheduler,
             "seed": self.seed,
             "params": dict(self.params),
         }
+        # Only serialised when set, so pre-batching payloads (and their
+        # content hashes) are byte-identical to what older versions emit.
+        if self.batch_size is not None:
+            payload["batch_size"] = self.batch_size
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScheduleSpec":
-        known = {"scheduler", "seed", "params"}
+        known = {"scheduler", "seed", "params", "batch_size"}
         unknown = set(payload) - known
         if unknown:
             raise AlgorithmError(f"unknown ScheduleSpec fields: {sorted(unknown)}")
@@ -346,6 +362,7 @@ class ScheduleSpec:
             scheduler=payload.get("scheduler", "fifo"),
             seed=payload.get("seed"),
             params=dict(payload.get("params", {})),
+            batch_size=payload.get("batch_size"),
         )
 
 

@@ -59,6 +59,35 @@ class RecomputeMaintainer:
             self._rebuild()
         return self.accountant.since(start)
 
+    def apply_batch(self, updates) -> CostDelta:
+        """Apply a wave of updates with a single rebuild at the end.
+
+        The batched analogue of per-update recomputation: all mutations of
+        the wave land first, then one flooding/GHS pass restores the tree —
+        a trivial (but honest) k× amortization for the baseline, and the
+        final forest is identical to sequential processing because the
+        rebuild only depends on the final graph.  Waves that would not have
+        triggered any rebuild sequentially (ST-mode weight changes) still
+        trigger none.
+        """
+        start = self.accountant.snapshot()
+        rebuild = False
+        for update in updates:
+            kind = update.kind.value
+            key = edge_key(update.u, update.v)
+            if kind == "insert":
+                self.graph.add_edge(key[0], key[1], update.effective_weight)
+                rebuild = True
+            elif kind == "delete":
+                self.graph.remove_edge(*key)
+                rebuild = True
+            else:
+                self.graph.set_weight(key[0], key[1], update.effective_weight)
+                rebuild = rebuild or self.mode == "mst"
+        if rebuild:
+            self._rebuild()
+        return self.accountant.since(start)
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #

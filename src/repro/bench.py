@@ -320,6 +320,55 @@ def _bench_repair(n: int, density: str, seed: int) -> Tuple[Counters, int]:
     return _accountant_counters(maintainer.accountant), graph.num_edges
 
 
+@_register(
+    "bench_repair_batched",
+    density="sparse",
+    sizes=(1024, 2048),
+    quick_sizes=(1024,),
+    reference_cutoff=1024,
+    summary="Batched vs sequential impromptu repair: one shared wave per k updates",
+)
+def _bench_repair_batched(n: int, density: str, seed: int) -> Tuple[Counters, int]:
+    """Sequential and batched repair legs over the same churn stream.
+
+    For each wave size ``k`` both legs rebuild the identical scenario
+    (same graph seed, same MST, same stream), so the message ratio
+    ``amortized_x100_k{k}`` is the measured amortization of sharing one
+    repair round per wave, and ``forest_equal_k{k}`` pins the batched
+    contract — the final forest must match sequential exactly (the MSF is
+    unique under augmented weights).  All counters are value-level, so
+    the fast and reference paths charge them identically.
+    """
+    counters: Counters = {}
+    edges = 0
+    for k in (4, 16, 64):
+        legs: Dict[str, TreeMaintainer] = {}
+        for label, batch in (("seq", None), ("batched", k)):
+            graph = _graph(n, density, seed)
+            config = AlgorithmConfig(n=n, seed=seed)
+            report = BuildMST(graph, config=config).run()
+            workload = WorkloadSpec(name="churn", updates=k).resolve_seed(seed + k)
+            stream = workload.build(graph, report.forest)
+            maintainer = TreeMaintainer(graph, report.forest, mode="mst", seed=seed)
+            maintainer.apply_stream(stream, batch_size=batch)
+            legs[label] = maintainer
+            edges = graph.num_edges
+        seq_messages = legs["seq"].accountant.summary()["messages"]
+        batched_messages = legs["batched"].accountant.summary()["messages"]
+        counters[f"seq_messages_k{k}"] = seq_messages
+        counters[f"batched_messages_k{k}"] = batched_messages
+        counters[f"amortized_x100_k{k}"] = seq_messages * 100 // max(batched_messages, 1)
+        counters[f"forest_equal_k{k}"] = int(
+            sorted(legs["seq"].forest.marked_edges)
+            == sorted(legs["batched"].forest.marked_edges)
+        )
+        counters[f"saved_queries_k{k}"] = sum(
+            outcome.report.skipped_candidates
+            for outcome in legs["batched"].batch_history
+        )
+    return counters, edges
+
+
 def _bench_broadcast_byzantine_body(
     n: int, density: str, seed: int
 ) -> Tuple[Counters, int]:

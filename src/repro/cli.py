@@ -24,7 +24,7 @@ worker processes.
 * ``trace record`` / ``trace replay`` — save a workload run as a JSON trace
   and replay it bit-for-bit later;
 * ``bench`` — time the registered micro-benchmarks on the fast path *and*
-  the reference path, assert counter equality and write ``BENCH_PR9.json``;
+  the reference path, assert counter equality and write ``BENCH_PR10.json``;
   ``--baseline PATH`` additionally compares the speedups against a committed
   trajectory report and fails on a >25% regression; ``--profile large``
   appends the n=10^4..10^6 scaling rows, ``--mem`` records tracemalloc
@@ -80,6 +80,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from . import fastpath
 from .analysis import ExperimentTable, run_construction_measurement, summarize
 from .api import (
     DENSITY_PROFILES,
@@ -163,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "reliable broadcast; KKT runners only)")
     run_cmd.add_argument("--trace", metavar="PATH",
                          help="trace file for the trace-replay workload")
+    run_cmd.add_argument("--repair-batch", type=int, default=None, metavar="K",
+                         help="coalesce repair updates into waves of K events "
+                              "sharing one repair round (repair runners only; "
+                              "0 forces sequential, overriding "
+                              "REPRO_REPAIR_BATCH and the schedule)")
     run_cmd.add_argument("--json", action="store_true", help="emit the RunResult as JSON")
 
     compare = subparsers.add_parser(
@@ -235,6 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="churn", help="a registered update workload")
     repair.add_argument("--fault", choices=sorted(list_faults()), default="none",
                         help="apply a registered fault program after the workload")
+    repair.add_argument("--repair-batch", type=int, default=None, metavar="K",
+                        help="coalesce updates into waves of K events sharing "
+                             "one repair round (default: REPRO_REPAIR_BATCH, "
+                             "else sequential; 0 forces sequential)")
     repair.add_argument("--compare-recompute", action="store_true",
                         help="also run the recompute-from-scratch baseline")
 
@@ -278,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=2015)
     bench.add_argument("--json", action="store_true",
                        help="print the report JSON to stdout instead of a table")
-    bench.add_argument("--out", metavar="PATH", default="BENCH_PR9.json",
+    bench.add_argument("--out", metavar="PATH", default="BENCH_PR10.json",
                        help="where to write the JSON report "
                             "(default: %(default)s; '-' disables the file)")
     bench.add_argument("--baseline", metavar="PATH",
@@ -504,6 +514,7 @@ def _runner_options(runner, args: argparse.Namespace) -> dict:
         "c": args.error_exponent,
         "updates": getattr(args, "updates", None),
         "substrate": getattr(args, "substrate", None),
+        "repair_batch": getattr(args, "repair_batch", None),
     }
     accepted = inspect.signature(runner.run).parameters
     return {
@@ -733,20 +744,24 @@ def _command_repair(args: argparse.Namespace) -> int:
     builder = BuildMST(graph, config=config) if args.mode == "mst" else BuildST(graph, config=config)
     report = builder.run()
     maintainer = TreeMaintainer(graph, report.forest, mode=args.mode, seed=args.seed)
+    batch = args.repair_batch if args.repair_batch is not None else fastpath.repair_batch_size()
+    batch_size = batch if batch >= 1 else None
     workload = WorkloadSpec(name=args.workload, updates=args.updates).resolve_seed(spec.seed)
     stream = workload.build(graph, report.forest)
-    maintainer.apply_stream(stream)
+    maintainer.apply_stream(stream, batch_size=batch_size)
     fault_events = 0
     if args.fault != "none":
         program = FaultSpec(name=args.fault).resolve_seed(spec.seed).build(
             graph, report.forest
         )
-        maintainer.apply_stream(program.stream)
+        maintainer.apply_stream(program.stream, batch_size=batch_size)
         fault_events = len(program.stream)
 
     checker = is_minimum_spanning_forest if args.mode == "mst" else is_spanning_forest
     ok = checker(report.forest)
-    costs = maintainer.messages_per_update()
+    batched = batch_size is not None
+    costs = maintainer.messages_per_wave() if batched else maintainer.messages_per_update()
+    unit = "wave" if batched else "update"
     stats = summarize(costs)
     table = ExperimentTable(
         "repair",
@@ -754,31 +769,52 @@ def _command_repair(args: argparse.Namespace) -> int:
         ["quantity", "value"],
     )
     table.add_row("nodes / edges", f"{graph.num_nodes} / {graph.num_edges}")
-    table.add_row("updates processed", len(costs))
+    if batched:
+        table.add_row("updates processed", len(stream) + fault_events)
+        table.add_row(f"repair waves (batch={batch_size})", len(costs))
+        table.add_row(
+            "updates annihilated inside waves",
+            sum(o.report.skipped_candidates for o in maintainer.batch_history),
+        )
+    else:
+        table.add_row("updates processed", len(costs))
     if args.fault != "none":
         table.add_row(f"fault events ({args.fault})", fault_events)
     table.add_row("tree invariant holds", ok)
-    table.add_row("messages per update (mean)", round(stats.mean, 1))
-    table.add_row("messages per update (median)", round(stats.median, 1))
-    table.add_row("messages per update (max)", round(stats.maximum, 1))
+    table.add_row(f"messages per {unit} (mean)", round(stats.mean, 1))
+    table.add_row(f"messages per {unit} (median)", round(stats.median, 1))
+    table.add_row(f"messages per {unit} (max)", round(stats.maximum, 1))
     if args.compare_recompute:
         baseline_graph = GraphSpec(
             nodes=args.nodes, density=args.density, seed=args.seed
         ).build()
         baseline = RecomputeMaintainer(baseline_graph, mode=args.mode)
         baseline_costs = []
-        for update in stream:
-            if update.kind is UpdateKind.DELETE:
-                baseline_costs.append(baseline.delete_edge(update.u, update.v).messages)
-            elif update.kind is UpdateKind.INSERT:
+        events = list(stream)
+        if batched:
+            for offset in range(0, len(events), batch_size):
                 baseline_costs.append(
-                    baseline.insert_edge(update.u, update.v, update.weight or 1).messages
+                    baseline.apply_batch(events[offset : offset + batch_size]).messages
                 )
-            else:
-                baseline_costs.append(
-                    baseline.change_weight(update.u, update.v, update.weight or 1).messages
-                )
-        table.add_row("recompute baseline per update (mean)", round(summarize(baseline_costs).mean, 1))
+        else:
+            for update in events:
+                if update.kind is UpdateKind.DELETE:
+                    baseline_costs.append(baseline.delete_edge(update.u, update.v).messages)
+                elif update.kind is UpdateKind.INSERT:
+                    baseline_costs.append(
+                        baseline.insert_edge(
+                            update.u, update.v, update.effective_weight
+                        ).messages
+                    )
+                else:
+                    baseline_costs.append(
+                        baseline.change_weight(
+                            update.u, update.v, update.effective_weight
+                        ).messages
+                    )
+        table.add_row(
+            f"recompute baseline per {unit} (mean)", round(summarize(baseline_costs).mean, 1)
+        )
     print(table.render())
     return 0 if ok else 1
 

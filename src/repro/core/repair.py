@@ -28,7 +28,7 @@ tests exercise the underlying primitive under adversarial schedulers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..network.accounting import CostDelta, MessageAccountant
 from ..network.errors import AlgorithmError, GraphError
@@ -38,7 +38,7 @@ from .config import AlgorithmConfig
 from .findany import FindAny
 from .findmin import FindMin, FindResult
 
-__all__ = ["RepairReport", "TreeRepairer"]
+__all__ = ["RepairReport", "TreeRepairer", "BatchRepairReport", "BatchRepairer"]
 
 
 @dataclass
@@ -106,35 +106,8 @@ class TreeRepairer:
         start = self.accountant.snapshot()
         key = edge_key(u, v)
         self.graph.add_edge(key[0], key[1], weight)
-        initiator, other = key
-
-        in_same_tree, heaviest = self._path_query(initiator, other)
-        if not in_same_tree:
-            # The new edge joins two maintained trees; one message across it
-            # tells the other endpoint to mark.
-            self._charge_edge_message(key)
-            self.forest.mark(*key)
-            return self._report("insert", key, False, self.graph.get_edge(*key), None, False, start)
-
-        if self.mode == "st":
-            # A spanning tree ignores redundant edges.
-            return self._report("insert", key, False, None, None, False, start)
-
-        assert heaviest is not None
-        new_edge = self.graph.get_edge(*key)
-        if heaviest.augmented_weight(self.graph.id_bits) > new_edge.augmented_weight(
-            self.graph.id_bits
-        ):
-            # Swap: broadcast the removal of the heaviest path edge, mark the
-            # new one.
-            self._findmin.tester.executor.broadcast_only(
-                root=initiator, broadcast_bits=2 * self.graph.id_bits, kind="remove_edge"
-            )
-            self._charge_edge_message(key)
-            self.forest.unmark(heaviest.u, heaviest.v)
-            self.forest.mark(*key)
-            return self._report("insert", key, False, new_edge, heaviest, False, start)
-        return self._report("insert", key, False, None, None, False, start)
+        _, replacement, removed = self._settle_candidate(key)
+        return self._report("insert", key, False, replacement, removed, False, start)
 
     def increase_weight(self, u: int, v: int, new_weight: int) -> RepairReport:
         """Weight increase: like a delete for tree edges, a no-op otherwise."""
@@ -201,6 +174,43 @@ class TreeRepairer:
     # ------------------------------------------------------------------ #
     # building blocks
     # ------------------------------------------------------------------ #
+    def _settle_candidate(self, key: Tuple[int, int]) -> Tuple[str, Optional[Edge], Optional[Edge]]:
+        """Path-query an unmarked existing edge and apply the cut/cycle rule.
+
+        Returns ``(action, replacement, removed)`` with ``action`` one of
+        ``"joined"`` (endpoints were in different trees; the edge joins the
+        forest), ``"swapped"`` (MST mode: the edge evicted the heaviest edge
+        on the tree cycle it closed), or ``"kept"`` (the forest is unchanged).
+        """
+        initiator, other = key
+        in_same_tree, heaviest = self._path_query(initiator, other)
+        if not in_same_tree:
+            # The edge joins two maintained trees; one message across it
+            # tells the other endpoint to mark.
+            self._charge_edge_message(key)
+            self.forest.mark(*key)
+            return "joined", self.graph.get_edge(*key), None
+
+        if self.mode == "st":
+            # A spanning tree ignores redundant edges.
+            return "kept", None, None
+
+        assert heaviest is not None
+        new_edge = self.graph.get_edge(*key)
+        if heaviest.augmented_weight(self.graph.id_bits) > new_edge.augmented_weight(
+            self.graph.id_bits
+        ):
+            # Swap: broadcast the removal of the heaviest path edge, mark the
+            # new one.
+            self._findmin.tester.executor.broadcast_only(
+                root=initiator, broadcast_bits=2 * self.graph.id_bits, kind="remove_edge"
+            )
+            self._charge_edge_message(key)
+            self.forest.unmark(heaviest.u, heaviest.v)
+            self.forest.mark(*key)
+            return "swapped", new_edge, heaviest
+        return "kept", None, None
+
     def _find_replacement(self, initiator: int) -> Tuple[Optional[Edge], bool]:
         """Search for the replacement edge across the cut (FindMin/FindAny).
 
@@ -304,3 +314,279 @@ class TreeRepairer:
             bridge=bridge,
             cost=self.accountant.since(start),
         )
+
+
+@dataclass
+class BatchRepairReport:
+    """What one coalesced repair round did for a whole wave of updates.
+
+    Per-update attribution intentionally does not exist in batched mode: the
+    wave shares one repair round, so costs are accounted *per wave* and the
+    per-update figure is the amortized ``cost.messages / size``.  The
+    correctness contract is final-forest equality with sequential processing
+    (exact in MST mode, where the distinct augmented weights make the
+    maintained forest the unique minimum spanning forest of the current
+    graph), not per-update counter equality.
+    """
+
+    size: int
+    holes: int
+    candidates: int
+    #: Updates that annihilated inside the wave (an edge inserted and then
+    #: deleted before the wave settles) — their repair work vanished
+    #: entirely, path query and FindMin both.
+    skipped_candidates: int
+    replacements: int
+    bridges: int
+    joins: int
+    swaps: int
+    cost: CostDelta
+
+    @property
+    def saved_queries(self) -> int:
+        """Repair queries the wave avoided versus sequential processing."""
+        return self.skipped_candidates
+
+
+class BatchRepairer:
+    """One coalesced repair round for a wave of updates (Theorem 1.2, amortized).
+
+    Sequential impromptu repair pays the full FindMin/FindAny + path-query
+    machinery per event.  A wave of ``k`` events is instead processed in
+    three phases sharing the tree-structure cache, incident arrays and
+    columnar sketch columns at a single stable graph version:
+
+    1. **Coalesce** — walk the wave in stream order (validating exactly like
+       sequential mode), applying removals and weight increases to the graph
+       and collecting their *holes* (tree edges lost — each remembers both
+       endpoints, either may initiate repair), while insertions and
+       weight decreases of non-tree edges are *deferred* as candidates;
+       insert+delete pairs annihilate on the spot, costing nothing.
+    2. **Reconnect** — repair the holes, smallest current fragment first;
+       each runs one FindMin (MST) / FindAny (ST) from its initiator's
+       fragment and marks the replacement.  With ``j`` holes in a component
+       that stays connected, each pop still sees at least two fragments, so
+       ``j`` pops provably restore spanning — no extra searches are needed.
+    3. **Settle** — replay the deferred candidates in stream order,
+       path-querying each with the usual cut/cycle rule.
+
+    Phases 2 and 3 together replay a *canonical sequential ordering* of the
+    wave — removals and increases first, then insertions and decreases — so
+    in MST mode the final forest equals sequential processing's whp (the
+    unique minimum spanning forest under the always-distinct augmented
+    weights).  Deferring the candidates is what makes this sound: a FindMin
+    that could see a not-yet-settled candidate might consume it as a hole
+    replacement and skip the red-rule eviction its settle owes, stranding a
+    stale non-MSF edge in the tree.
+
+    Each hole/candidate uses the per-update derived config of its original
+    stream position, so a wave of size 1 follows the sequential code path
+    with identical counters.  The ``make_repairer`` callback maps a 0-based
+    wave index to that update's fresh :class:`TreeRepairer`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        forest: SpanningForest,
+        make_repairer: Callable[[int], TreeRepairer],
+        mode: str = "mst",
+        accountant: Optional[MessageAccountant] = None,
+    ) -> None:
+        if mode not in ("mst", "st"):
+            raise AlgorithmError("mode must be 'mst' or 'st'")
+        self.graph = graph
+        self.forest = forest
+        self.mode = mode
+        self.make_repairer = make_repairer
+        self.accountant = accountant if accountant is not None else MessageAccountant()
+
+    def run(self, wave: Sequence) -> BatchRepairReport:
+        """Apply a wave of :class:`~repro.dynamic.updates.EdgeUpdate`-likes."""
+        start = self.accountant.snapshot()
+        holes, candidates, annihilated = self._coalesce(wave)
+        replacements, bridges = self._reconnect(holes, sequential_initiators=len(wave) == 1)
+        joins, swaps = self._settle(candidates)
+        return BatchRepairReport(
+            size=len(wave),
+            holes=len(holes),
+            candidates=len(candidates),
+            skipped_candidates=annihilated,
+            replacements=replacements,
+            bridges=bridges,
+            joins=joins,
+            swaps=swaps,
+            cost=self.accountant.since(start),
+        )
+
+    # ------------------------------------------------------------------ #
+    # phase 1: apply mutations, classify repair work
+    # ------------------------------------------------------------------ #
+    def _coalesce(self, wave: Sequence):
+        # holes: [wave_index, u, v, origin_key] — u < v are the endpoints of
+        # the lost tree edge (either may initiate repair); origin_key is set
+        # for weight-increase holes whose edge is still in the graph, so a
+        # budget-exhausted search can fall back to re-marking it (mirroring
+        # sequential increase_weight); cleared if the edge is later deleted.
+        holes: List[List] = []
+        # candidates: [wave_index, key, kind, weight] with kind "insert" or
+        # "decrease".  Candidate mutations are NOT applied here: the settle
+        # phase replays them one at a time after the holes are repaired, so
+        # the wave is processed in a canonical sequential ordering (removals
+        # and weight increases first, then insertions and decreases).  This
+        # is what makes the final forest order-independent: a FindMin that
+        # could see a not-yet-settled candidate might consume it as a hole
+        # replacement and silently skip the red-rule eviction its settle
+        # owes, stranding a stale non-MSF edge in the tree.
+        candidates: List[List] = []
+        pending = {}  # key -> candidate entry (deferred, not yet in graph/weight)
+        annihilated = 0
+
+        for index, update in enumerate(wave):
+            kind = update.kind.value
+            key = edge_key(update.u, update.v)
+            entry = pending.get(key)
+            if kind == "insert":
+                if entry is not None or self.graph.has_edge(*key):
+                    raise GraphError(f"edge {key} already exists")
+                entry = [index, key, "insert", update.effective_weight]
+                pending[key] = entry
+                candidates.append(entry)
+            elif kind == "delete":
+                if entry is not None:
+                    # An insert (or a decrease of an edge that is then
+                    # deleted) annihilates inside the wave: neither side
+                    # ever reaches the repair machinery.
+                    if entry[2] == "insert":
+                        candidates.remove(entry)
+                        del pending[key]
+                        annihilated += 1
+                        continue
+                    candidates.remove(entry)
+                    del pending[key]
+                if not self.graph.has_edge(*key):
+                    raise GraphError(f"cannot delete non-existent edge {key}")
+                was_tree_edge = self.forest.is_marked(*key)
+                self.graph.remove_edge(*key)
+                self.forest.unmark(*key)
+                for hole in holes:
+                    if hole[3] == key:
+                        hole[3] = None
+                if was_tree_edge:
+                    holes.append([index, key[0], key[1], None])
+            elif kind == "increase_weight":
+                if entry is not None:
+                    # Validate against the pending (sequentially current)
+                    # weight; the merged mutation settles once, later.
+                    if update.weight < entry[3]:
+                        raise AlgorithmError("increase_weight called with a smaller weight")
+                    original = (
+                        None if entry[2] == "insert" else self.graph.get_edge(*key).weight
+                    )
+                    if original is not None and update.weight >= original:
+                        # The decrease was undone: net effect is a plain
+                        # increase of an unmarked edge — apply it now.
+                        candidates.remove(entry)
+                        del pending[key]
+                        self.graph.set_weight(key[0], key[1], update.weight)
+                    else:
+                        entry[3] = update.weight
+                    continue
+                edge = self.graph.get_edge(*key)
+                if update.weight < edge.weight:
+                    raise AlgorithmError("increase_weight called with a smaller weight")
+                was_tree_edge = self.forest.is_marked(*key)
+                self.graph.set_weight(key[0], key[1], update.weight)
+                if was_tree_edge and self.mode == "mst":
+                    # Like a delete, except the (heavier) edge remains in the
+                    # graph and may legitimately be re-picked by FindMin.
+                    self.forest.unmark(*key)
+                    holes.append([index, key[0], key[1], key])
+            elif kind == "decrease_weight":
+                if entry is not None:
+                    if update.weight > entry[3]:
+                        raise AlgorithmError("decrease_weight called with a larger weight")
+                    entry[3] = update.weight
+                    continue
+                edge = self.graph.get_edge(*key)
+                if update.weight > edge.weight:
+                    raise AlgorithmError("decrease_weight called with a larger weight")
+                was_tree_edge = self.forest.is_marked(*key)
+                if was_tree_edge or self.mode == "st":
+                    # A tree edge getting lighter stays in the MST, and an
+                    # ST ignores weights entirely — nothing to settle.
+                    self.graph.set_weight(key[0], key[1], update.weight)
+                else:
+                    entry = [index, key, "decrease", update.weight]
+                    pending[key] = entry
+                    candidates.append(entry)
+            else:  # pragma: no cover - exhaustive over UpdateKind
+                raise AlgorithmError(f"unknown update kind {kind!r}")
+        return holes, candidates, annihilated
+
+    # ------------------------------------------------------------------ #
+    # phase 2: one FindMin/FindAny per hole, at the final graph version
+    # ------------------------------------------------------------------ #
+    def _reconnect(self, holes, sequential_initiators: bool = False) -> Tuple[int, int]:
+        replacements = bridges = 0
+        pending = list(holes)
+        while pending:
+            if sequential_initiators:
+                # Singleton wave: follow the sequential code path exactly
+                # (the smaller-ID endpoint initiates), so k=1 batches charge
+                # bit-identical counters to sequential processing.
+                index, initiator, _, origin = pending.pop(0)
+            else:
+                # Pop the hole endpoint that currently sits in the smallest
+                # fragment (ties by wave order then endpoint, so runs stay
+                # deterministic).  This generalizes the paper's
+                # search-from-the-smaller-side rule to a wave: every
+                # FindMin/FindAny and its announce broadcast runs over a
+                # small fragment instead of the growing merged tree.
+                sizes = {}
+                for component in self.forest.components():
+                    for node in component:
+                        sizes[node] = len(component)
+                best = min(
+                    (sizes.get(hole[end], 1), hole[0], end, i)
+                    for i, hole in enumerate(pending)
+                    for end in (1, 2)
+                )
+                hole = pending.pop(best[3])
+                index, origin = hole[0], hole[3]
+                initiator = hole[best[2]]
+            repairer = self.make_repairer(index)
+            replacement, bridge = repairer._find_replacement(initiator)
+            if replacement is not None:
+                replacements += 1
+            elif bridge:
+                bridges += 1
+            elif origin is not None and self.graph.has_edge(*origin) and not self.forest.is_marked(*origin):
+                # Monte Carlo total failure on a weight-increase hole: keep
+                # the heavier edge so the forest stays spanning (sequential
+                # increase_weight's fallback).
+                self.forest.mark(*origin)
+        return replacements, bridges
+
+    # ------------------------------------------------------------------ #
+    # phase 3: settle surviving candidates, skipping already-marked ones
+    # ------------------------------------------------------------------ #
+    def _settle(self, candidates) -> Tuple[int, int]:
+        joins = swaps = 0
+        for index, key, kind, weight in candidates:
+            if kind == "insert":
+                self.graph.add_edge(key[0], key[1], weight)
+            else:  # deferred decrease of an unmarked edge
+                self.graph.set_weight(key[0], key[1], weight)
+                if self.forest.is_marked(*key):
+                    # Phase 2 re-picked the edge (at its old weight — a
+                    # blue-rule choice that only improves as it gets
+                    # lighter): a tree edge getting lighter stays put.
+                    continue
+            repairer = self.make_repairer(index)
+            action, _, _ = repairer._settle_candidate(key)
+            if action == "joined":
+                joins += 1
+            elif action == "swapped":
+                swaps += 1
+        return joins, swaps

@@ -8,22 +8,32 @@ for every update, so no Python object state can leak information between
 updates.  The only state that survives is the graph (each node's incident
 edges and weights) and the marked-edge set, exactly the knowledge the paper
 allows a node to keep.
+
+:meth:`TreeMaintainer.apply_batch` is the batched mode: a wave of ``k``
+updates is coalesced into one shared repair round
+(:class:`~repro.core.repair.BatchRepairer`): holes are repaired smallest
+fragment first, deferred candidates settle afterwards, and a churn wave's
+insert+delete pairs annihilate without any repair work at all.  Costs are
+accounted per wave; the correctness contract versus sequential processing is
+final-forest equality (exact in MST mode, where distinct augmented weights
+make the maintained forest the unique minimum spanning forest of the current
+graph).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Union
 
 from ..core.config import AlgorithmConfig
-from ..core.repair import RepairReport, TreeRepairer
+from ..core.repair import BatchRepairer, BatchRepairReport, RepairReport, TreeRepairer
 from ..network.accounting import MessageAccountant
 from ..network.errors import AlgorithmError
 from ..network.fragments import SpanningForest
 from ..network.graph import Graph
 from .updates import EdgeUpdate, UpdateKind, UpdateStream
 
-__all__ = ["UpdateOutcome", "TreeMaintainer"]
+__all__ = ["UpdateOutcome", "BatchOutcome", "TreeMaintainer"]
 
 
 @dataclass
@@ -32,6 +42,18 @@ class UpdateOutcome:
 
     update: EdgeUpdate
     report: RepairReport
+
+    @property
+    def messages(self) -> int:
+        return self.report.cost.messages
+
+
+@dataclass
+class BatchOutcome:
+    """One processed wave together with its batched repair report."""
+
+    updates: List[EdgeUpdate]
+    report: BatchRepairReport
 
     @property
     def messages(self) -> int:
@@ -62,6 +84,7 @@ class TreeMaintainer:
         self._seed = seed
         self._update_counter = 0
         self.history: List[UpdateOutcome] = []
+        self.batch_history: List[BatchOutcome] = []
 
     # ------------------------------------------------------------------ #
     # applying updates
@@ -70,7 +93,7 @@ class TreeMaintainer:
         """Process one update impromptu and return its outcome."""
         repairer = self._fresh_repairer()
         if update.kind == UpdateKind.INSERT:
-            report = repairer.insert_edge(update.u, update.v, update.weight or 1)
+            report = repairer.insert_edge(update.u, update.v, update.effective_weight)
         elif update.kind == UpdateKind.DELETE:
             report = repairer.delete_edge(update.u, update.v)
         elif update.kind == UpdateKind.INCREASE_WEIGHT:
@@ -85,22 +108,85 @@ class TreeMaintainer:
         self.history.append(outcome)
         return outcome
 
-    def apply_stream(self, stream: UpdateStream) -> List[UpdateOutcome]:
-        """Process every update of ``stream`` in order."""
-        return [self.apply(update) for update in stream]
+    def apply_batch(self, updates: Sequence[EdgeUpdate]) -> BatchOutcome:
+        """Coalesce a wave of updates into one shared repair round.
+
+        Every update in the wave still consumes its own slot of the
+        per-update derived randomness, so a wave of size 1 follows the
+        sequential code path with bit-identical counters.
+        """
+        wave = list(updates)
+        base = self._update_counter
+        self._update_counter += len(wave)
+        engine = BatchRepairer(
+            self.graph,
+            self.forest,
+            make_repairer=lambda index: self._repairer_for(base + index + 1),
+            mode=self.mode,
+            accountant=self.accountant,
+        )
+        outcome = BatchOutcome(updates=wave, report=engine.run(wave))
+        self.batch_history.append(outcome)
+        return outcome
+
+    def apply_stream(
+        self, stream: UpdateStream, batch_size: Optional[int] = None
+    ) -> Union[List[UpdateOutcome], List[BatchOutcome]]:
+        """Process every update of ``stream`` in order.
+
+        With ``batch_size`` ≥ 1 the stream is chunked into waves of that size
+        and each wave goes through :meth:`apply_batch`; otherwise updates are
+        processed one at a time (the sequential Theorem 1.2 mode).
+        """
+        if batch_size is None or batch_size < 1:
+            return [self.apply(update) for update in stream]
+        updates = list(stream)
+        return [
+            self.apply_batch(updates[start : start + batch_size])
+            for start in range(0, len(updates), batch_size)
+        ]
 
     # ------------------------------------------------------------------ #
     # accounting helpers
     # ------------------------------------------------------------------ #
     def total_messages(self) -> int:
-        return sum(outcome.messages for outcome in self.history)
+        return sum(outcome.messages for outcome in self.history) + sum(
+            outcome.messages for outcome in self.batch_history
+        )
 
     def messages_per_update(self) -> List[int]:
         return [outcome.messages for outcome in self.history]
 
+    def messages_per_wave(self) -> List[int]:
+        return [outcome.messages for outcome in self.batch_history]
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _derived_config(self, counter: int) -> AlgorithmConfig:
+        """The per-update config: independent randomness for update ``counter``.
+
+        An explicit base config contributes its parameters (and its seed, if
+        any) but is never handed to a repairer verbatim — its RNG object
+        would leak state across updates, breaking both reproducibility and
+        the impromptu no-retained-state claim.
+        """
+        if self._base_config is not None:
+            base_seed = self._base_config.seed if self._base_config.seed is not None else self._seed
+            derived_seed = None if base_seed is None else base_seed + 7919 * counter
+            return replace(self._base_config, seed=derived_seed)
+        derived_seed = None if self._seed is None else self._seed + 7919 * counter
+        return AlgorithmConfig(n=max(self.graph.num_nodes, 1), seed=derived_seed)
+
+    def _repairer_for(self, counter: int) -> TreeRepairer:
+        return TreeRepairer(
+            self.graph,
+            self.forest,
+            config=self._derived_config(counter),
+            accountant=self.accountant,
+            mode=self.mode,
+        )
+
     def _fresh_repairer(self) -> TreeRepairer:
         """A brand-new repairer per update: nothing persists in between.
 
@@ -109,17 +195,4 @@ class TreeMaintainer:
         randomness is independent.
         """
         self._update_counter += 1
-        if self._base_config is not None:
-            config = self._base_config
-        else:
-            derived_seed = (
-                None if self._seed is None else self._seed + 7919 * self._update_counter
-            )
-            config = AlgorithmConfig(n=max(self.graph.num_nodes, 1), seed=derived_seed)
-        return TreeRepairer(
-            self.graph,
-            self.forest,
-            config=config,
-            accountant=self.accountant,
-            mode=self.mode,
-        )
+        return self._repairer_for(self._update_counter)

@@ -48,6 +48,16 @@ class EdgeUpdate:
     def key(self):
         return edge_key(self.u, self.v)
 
+    @property
+    def effective_weight(self) -> int:
+        """The weight to apply: default 1 only when genuinely unset.
+
+        ``update.weight or 1`` would silently coerce an *explicit* weight 0
+        to 1 (weight 0 is legal — only negative weights are rejected); every
+        consumer must go through this property instead.
+        """
+        return 1 if self.weight is None else self.weight
+
     @staticmethod
     def insert(u: int, v: int, weight: int = 1) -> "EdgeUpdate":
         return EdgeUpdate(UpdateKind.INSERT, u, v, weight)
@@ -98,7 +108,7 @@ class UpdateStream:
             if update.kind == UpdateKind.INSERT:
                 if shadow.has_edge(u, v):
                     raise AlgorithmError(f"update {index}: edge ({u},{v}) already exists")
-                shadow.add_edge(u, v, update.weight or 1)
+                shadow.add_edge(u, v, update.effective_weight)
             elif update.kind == UpdateKind.DELETE:
                 if not shadow.has_edge(u, v):
                     raise AlgorithmError(f"update {index}: edge ({u},{v}) does not exist")

@@ -46,6 +46,7 @@ __all__ = [
     "reference_path",
     "batch_min_nodes",
     "should_batch",
+    "repair_batch_size",
 ]
 
 _enabled = os.environ.get("REPRO_FASTPATH", "1") not in ("0", "false", "off")
@@ -67,6 +68,22 @@ def batch_min_nodes() -> int:
         return int(os.environ.get("REPRO_BATCH_MIN_NODES", _DEFAULT_BATCH_MIN_NODES))
     except ValueError:
         return _DEFAULT_BATCH_MIN_NODES
+
+
+def repair_batch_size() -> int:
+    """Default wave size for batched impromptu repair (0 = sequential).
+
+    Read from ``REPRO_REPAIR_BATCH``; an explicit ``repair_batch`` argument
+    or a ``ScheduleSpec.batch_size`` always wins over the environment, so
+    differential oracles can force sequential runs even in forced-batching
+    CI legs.  Unlike :func:`should_batch` this is *not* wall-clock-only:
+    batched repair trades per-update counter attribution for per-wave
+    amortized accounting (final-forest equality is the contract).
+    """
+    try:
+        return max(0, int(os.environ.get("REPRO_REPAIR_BATCH", "0")))
+    except ValueError:
+        return 0
 
 
 def should_batch(tree_size: int, graph_nodes: int) -> bool:

@@ -23,6 +23,9 @@ Shipped oracles
     ``byzantine_tolerant`` trait are flagged-not-failed: their divergence is
     the attack's expected outcome, counted in the oracle's stats rather than
     reported as a violation, while tolerant algorithms stay fully checked.
+    Repair runners (those accepting ``repair_batch``) additionally run a
+    forced-sequential and a batched-wave leg and must produce the same
+    final forest — the batched-repair equality contract.
 ``fastpath``
     A deterministically chosen sample of algorithms is re-run under
     :func:`repro.fastpath.reference_path`; messages/bits/rounds/phases and
@@ -204,6 +207,16 @@ class DifferentialOracle:
     that persists through every retry is a violation.  Random blips are
     counted in :attr:`stats` so campaigns stay honest about how often the
     allowed failure mode actually fired.
+
+    Runners that accept ``repair_batch`` are additionally run twice more —
+    once forced sequential (``repair_batch=0``) and once with a
+    spec-derived wave size — and must land on the *same final forest*.
+    That is the batched-repair contract: per-update counters are replaced
+    by per-wave amortized accounting, but in MST mode the maintained tree
+    is the unique minimum spanning forest of the final graph (augmented
+    weights are always distinct), so the processing order cannot change
+    the answer.  Monte Carlo repair runners get the same reseed-and-retry
+    treatment on divergence.
     """
 
     name = "differential"
@@ -217,6 +230,8 @@ class DifferentialOracle:
             "monte_carlo_suspects": 0,
             "monte_carlo_blips": 0,
             "byzantine_flagged": 0,
+            "batched_compared": 0,
+            "batched_blips": 0,
         }
 
     def examine(self, spec: ExperimentSpec, context: CaseContext) -> List[Violation]:
@@ -268,7 +283,112 @@ class DifferentialOracle:
             )
             if detail is not None:
                 violations.append(Violation(self.name, detail, algorithm))
+        violations.extend(self._check_batched(spec, context, faults_active, byzantine))
         return violations
+
+    def _check_batched(
+        self,
+        spec: ExperimentSpec,
+        context: CaseContext,
+        faults_active: bool,
+        byzantine: bool,
+    ) -> List[Violation]:
+        """Batched waves must reach the same final forest as sequential.
+
+        Applies to every algorithm whose runner accepts both ``repair_batch``
+        and ``record_state``.  The wave size is derived from the spec digest
+        (2–4) so the whole fuzz grid exercises different wave geometries
+        deterministically.  Passing ``repair_batch=0`` explicitly forces the
+        sequential leg even when ``REPRO_REPAIR_BATCH`` is set, so this
+        check stays meaningful inside forced-batching CI legs.
+        """
+        violations: List[Violation] = []
+        for algorithm in context.algorithms:
+            runner = get_runner(algorithm)
+            if not (_accepts(runner, "repair_batch") and _accepts(runner, "record_state")):
+                continue
+            traits = algorithm_traits(algorithm)
+            if faults_active and traits["may_fail_under_faults"]:
+                continue
+            if byzantine and not traits["byzantine_tolerant"]:
+                continue
+            base = _stable_digest(spec.to_json() + algorithm) & 0x7FFFFFFF
+            wave = 2 + base % 3
+            self.stats["batched_compared"] += 1
+            detail = self._batched_divergence(runner, spec, wave)
+            if detail is None:
+                continue
+            retried = False
+            if traits["monte_carlo"] and _accepts(runner, "algorithm_seed"):
+                blip = False
+                for attempt in range(self.retries):
+                    seed = derive_seed(base, attempt)
+                    if (
+                        self._batched_divergence(
+                            runner, spec, wave, seed=seed, c=self.retry_c
+                        )
+                        is None
+                    ):
+                        blip = True
+                        break
+                if blip:
+                    self.stats["batched_blips"] += 1
+                    continue
+                retried = True
+            violations.append(
+                Violation(
+                    self.name,
+                    f"batched wave={wave} diverged from sequential: {detail}"
+                    + (
+                        f" (persistent across {self.retries} independent seeds)"
+                        if retried
+                        else ""
+                    ),
+                    algorithm,
+                )
+            )
+        return violations
+
+    @staticmethod
+    def _batched_divergence(
+        runner: Any,
+        spec: ExperimentSpec,
+        wave: int,
+        seed: Optional[int] = None,
+        c: Optional[float] = None,
+    ) -> Optional[str]:
+        """Run one sequential and one batched leg; describe any divergence."""
+        options: Dict[str, Any] = {} if seed is None else {"algorithm_seed": seed}
+        if c is not None and _accepts(runner, "c"):
+            # Retry legs boost the error exponent like _is_random_blip does:
+            # at tiny n the paper's n^-c bound is weak enough that unboosted
+            # reseeds can all blip, misreporting chance as divergence.
+            options["c"] = c
+        sequential = runner.run(spec, record_state=True, repair_batch=0, **options)
+        batched = runner.run(spec, record_state=True, repair_batch=wave, **options)
+        if not all(sequential.checks.values()):
+            # The algorithm itself failed on this spec — a Monte Carlo
+            # casualty the main differential loop already polices (with
+            # boosted-c reseeds).  Batching is only on trial for *diverging
+            # from sequential*, and a failed sequential leg leaves no
+            # trusted baseline to diverge from.
+            return None
+        failed = sorted(name for name, ok in batched.checks.items() if not ok)
+        if failed:
+            return f"batched run failed its own checks: {failed}"
+        seq_graph = sorted(map(tuple, sequential.extra.get("graph_edges", [])))
+        bat_graph = sorted(map(tuple, batched.extra.get("graph_edges", [])))
+        if seq_graph != bat_graph:
+            # Both legs replay the identical update stream, so even the raw
+            # graphs must agree — a mismatch means coalescing lost an edge.
+            return "final graphs differ"
+        seq_tree = sorted(map(tuple, sequential.extra.get("tree_edges", [])))
+        bat_tree = sorted(map(tuple, batched.extra.get("tree_edges", [])))
+        if seq_tree != bat_tree:
+            extra = [e for e in bat_tree if e not in seq_tree]
+            missing = [e for e in seq_tree if e not in bat_tree]
+            return f"final trees differ: extra={extra[:6]} missing={missing[:6]}"
+        return None
 
     def _is_random_blip(self, spec: ExperimentSpec, algorithm: str) -> Optional[bool]:
         """Retry a suspect Monte Carlo failure with independent coins.

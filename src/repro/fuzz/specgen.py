@@ -184,7 +184,10 @@ class SpecGenerator:
             return None
         scheduler = rng.choice(self.schedulers)
         seed = self._seed_for(rng) if scheduler == "random" else None
-        return ScheduleSpec(scheduler=scheduler, seed=seed)
+        # Occasionally pin a repair wave size so the grid also fuzzes the
+        # batched-repair path through the spec itself (None = sequential).
+        batch_size = rng.choice([None, None, None, 2, 3, 4])
+        return ScheduleSpec(scheduler=scheduler, seed=seed, batch_size=batch_size)
 
     def _fault_spec(self, rng: random.Random) -> Optional[FaultSpec]:
         if not self.faults or rng.random() >= self.space.fault_probability:

@@ -115,6 +115,25 @@ class TestScheduleSpec:
         assert again == spec
         assert again.build() is not None
 
+    def test_batch_size_round_trips(self):
+        spec = ScheduleSpec(scheduler="fifo", batch_size=4)
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert payload["batch_size"] == 4
+        assert ScheduleSpec.from_dict(payload) == spec
+
+    def test_batch_size_validation(self):
+        with pytest.raises(AlgorithmError, match="batch_size"):
+            ScheduleSpec(scheduler="fifo", batch_size=0)
+        with pytest.raises(AlgorithmError, match="batch_size"):
+            ScheduleSpec(scheduler="fifo", batch_size="two")
+
+    def test_unset_batch_size_keeps_old_payloads_byte_identical(self):
+        # Pre-batching payloads must parse, and serializing a spec without
+        # a batch_size must not add the key (content hashes are stable).
+        spec = ScheduleSpec.from_dict({"scheduler": "fifo"})
+        assert spec.batch_size is None
+        assert "batch_size" not in spec.to_dict()
+
 
 class TestExperimentSpec:
     def test_coerce_accepts_graph_spec(self):

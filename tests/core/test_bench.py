@@ -26,6 +26,7 @@ class TestRegistry:
             "bench_findany",
             "bench_findmin",
             "bench_repair",
+            "bench_repair_batched",
             "bench_service_throughput",
             "bench_sketch_pass",
             "bench_testout",
@@ -178,7 +179,7 @@ class TestBenchCli:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["bench", "--quick"])
         assert args.quick is True
-        assert args.out == "BENCH_PR9.json"
+        assert args.out == "BENCH_PR10.json"
         assert args.benchmarks is None
         assert args.baseline is None
         assert args.profile == "default"

@@ -91,6 +91,8 @@ class TestCleanCampaign:
             "monte_carlo_suspects": 0,
             "monte_carlo_blips": 0,
             "byzantine_flagged": 0,
+            "batched_compared": 0,
+            "batched_blips": 0,
         }
 
 

@@ -139,6 +139,47 @@ class TestDifferentialOracle:
         oracle = DifferentialOracle()
         assert oracle.examine(spec, _context(spec, ["flooding"])) == []
 
+    def test_batched_legs_compared_for_repair_runners(self):
+        spec = ExperimentSpec(graph=GraphSpec(nodes=12, density="sparse", seed=6))
+        oracle = DifferentialOracle()
+        assert oracle.examine(spec, _context(spec, ["kkt-repair"])) == []
+        assert oracle.stats["batched_compared"] == 1
+
+    def test_batched_check_skips_runners_without_the_hook(self):
+        spec = ExperimentSpec(graph=GraphSpec(nodes=12, density="sparse", seed=6))
+        oracle = DifferentialOracle()
+        oracle.examine(spec, _context(spec, ["kkt-mst"]))
+        assert oracle.stats["batched_compared"] == 0
+
+    def test_batched_check_absorbs_shared_monte_carlo_casualty(self):
+        """A spec where *both* legs fail the runner's own checks is a blip.
+
+        Fuzz-found (campaign seed 0, case 140, minimized): kkt-repair blips
+        on this 4-node adversarial spec for its default coins, identically
+        in sequential and batched mode.  That is the algorithm's allowed
+        n^-c failure, policed by the main loop's boosted-c reseeds — the
+        batched leg must not re-report it as a batching divergence.
+        """
+        spec = ExperimentSpec(
+            graph=GraphSpec(
+                nodes=4, density="sparse", seed=12596, weight_model="adversarial"
+            ),
+            workload=WorkloadSpec(name="insert-heavy", updates=1, seed=531034),
+        )
+        oracle = DifferentialOracle()
+        assert oracle.examine(spec, _context(spec, ["kkt-repair"])) == []
+        assert oracle.stats["batched_compared"] == 1
+        assert oracle.stats["monte_carlo_blips"] == 1  # main loop absorbed it
+
+    def test_batched_check_runs_sequential_even_under_forced_batching(self, monkeypatch):
+        # The explicit repair_batch=0 leg must override REPRO_REPAIR_BATCH,
+        # otherwise forced-batching CI legs would compare batched to batched.
+        monkeypatch.setenv("REPRO_REPAIR_BATCH", "5")
+        spec = ExperimentSpec(graph=GraphSpec(nodes=12, density="sparse", seed=7))
+        oracle = DifferentialOracle()
+        assert oracle.examine(spec, _context(spec, ["kkt-repair"])) == []
+        assert oracle.stats["batched_compared"] == 1
+
 
 class TestFastpathOracle:
     def test_samples_deterministically(self):
